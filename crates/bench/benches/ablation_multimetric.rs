@@ -1,0 +1,191 @@
+//! Ablation: combinatorial fingerprints (paper future work §6).
+//!
+//! > "We can make fingerprints more exclusive by combining multiple system
+//! > metrics and / or multiple time intervals."
+//!
+//! Compares, at fixed depth, (a) the single-metric EFD, (b) *voting* over
+//! k metrics (independent lookups, majority), and (c) *conjunctive* combo
+//! keys over the same k metrics (one key per node = tuple of rounded
+//! means). Normal fold measures accuracy; hard unknown measures
+//! exclusiveness — the conjunction should reject unknown applications
+//! hardest.
+
+use efd_bench::{bench_dataset, headline_metric};
+use efd_core::multi::ComboDictionary;
+use efd_core::observation::{LabeledObservation, ObsPoint, Query};
+use efd_core::rounding::RoundingDepth;
+use efd_core::EfdDictionary;
+use efd_eval::EvalOptions;
+use efd_ml::metrics::{evaluate, UNKNOWN_LABEL};
+use efd_telemetry::trace::MetricSelection;
+use efd_telemetry::{Interval, MetricId, NodeId};
+use efd_util::table::{fmt_score, TextTable};
+use efd_util::Align;
+use efd_workload::splits::{leave_one_app_out, stratified_k_fold};
+
+const DEPTH: u8 = 3;
+
+struct MeansCache {
+    metrics: Vec<MetricId>,
+    /// `[run][node][metric_pos]`
+    means: Vec<Vec<Vec<f64>>>,
+}
+
+impl MeansCache {
+    fn query(&self, run: usize, k: usize) -> Query {
+        let mut q = Query::default();
+        for (n, per_metric) in self.means[run].iter().enumerate() {
+            for (pos, &mean) in per_metric.iter().take(k).enumerate() {
+                q.points.push(ObsPoint {
+                    metric: self.metrics[pos],
+                    node: NodeId(n as u16),
+                    interval: Interval::PAPER_DEFAULT,
+                    mean,
+                });
+            }
+        }
+        q
+    }
+}
+
+enum Mode {
+    Voting,
+    Combo,
+}
+
+fn run_config(
+    cache: &MeansCache,
+    labels: &[efd_telemetry::AppLabel],
+    k: usize,
+    mode: &Mode,
+    opts: &EvalOptions,
+) -> (f64, f64, usize) {
+    let obs = |idx: &[usize]| -> Vec<LabeledObservation> {
+        idx.iter()
+            .map(|&i| LabeledObservation {
+                label: labels[i].clone(),
+                query: cache.query(i, k),
+            })
+            .collect()
+    };
+    let recognize = |train: &[usize], test: &[usize]| -> (Vec<String>, usize) {
+        match mode {
+            Mode::Voting => {
+                let mut d = EfdDictionary::new(RoundingDepth::new(DEPTH));
+                d.learn_all(&obs(train));
+                let preds = test
+                    .iter()
+                    .map(|&i| {
+                        d.recognize(&cache.query(i, k))
+                            .best()
+                            .map(str::to_string)
+                            .unwrap_or_else(|| UNKNOWN_LABEL.to_string())
+                    })
+                    .collect();
+                (preds, d.len())
+            }
+            Mode::Combo => {
+                let mut d = ComboDictionary::new(
+                    cache.metrics[..k].to_vec(),
+                    RoundingDepth::new(DEPTH),
+                );
+                d.learn_all(&obs(train));
+                let preds = test
+                    .iter()
+                    .map(|&i| {
+                        d.recognize(&cache.query(i, k))
+                            .best()
+                            .map(str::to_string)
+                            .unwrap_or_else(|| UNKNOWN_LABEL.to_string())
+                    })
+                    .collect();
+                (preds, d.len())
+            }
+        }
+    };
+
+    // Normal fold.
+    let folds = stratified_k_fold(labels, opts.folds, opts.seed);
+    let mut normal = Vec::new();
+    let mut entries = 0usize;
+    for fold in &folds {
+        let (preds, n) = recognize(&fold.train, &fold.test);
+        entries = entries.max(n);
+        let truth: Vec<&str> = fold.test.iter().map(|&i| labels[i].app.as_str()).collect();
+        normal.push(evaluate(&truth, &preds).macro_f1_present());
+    }
+    // Hard unknown.
+    let mut hard = Vec::new();
+    for (app, removed) in leave_one_app_out(labels) {
+        let train: Vec<usize> = (0..labels.len())
+            .filter(|i| !removed.contains(i))
+            .collect();
+        let (preds, _) = recognize(&train, &removed);
+        let truth = vec![UNKNOWN_LABEL; removed.len()];
+        hard.push(evaluate(&truth, &preds).macro_f1_present());
+        let _ = app;
+    }
+    (
+        normal.iter().sum::<f64>() / normal.len() as f64,
+        hard.iter().sum::<f64>() / hard.len() as f64,
+        entries,
+    )
+}
+
+fn main() {
+    let dataset = bench_dataset();
+    // Headline metric + strong companions from Table 3.
+    let names = [
+        efd_eval::paper::HEADLINE_METRIC,
+        "Committed_AS_meminfo",
+        "nr_active_anon_vmstat",
+        "AnonPages_meminfo",
+        "AMO_PKTS_metric_set_nic",
+    ];
+    let metrics: Vec<MetricId> = names
+        .iter()
+        .map(|n| dataset.catalog().id(n).unwrap())
+        .collect();
+    assert_eq!(metrics[0], headline_metric(&dataset));
+    let sel = MetricSelection::new(metrics.clone());
+    let cache = MeansCache {
+        metrics,
+        means: dataset.window_means_all(&sel, Interval::PAPER_DEFAULT),
+    };
+    let labels = dataset.labels();
+    let opts = EvalOptions::default();
+
+    let mut table = TextTable::new(vec![
+        "config",
+        "normal fold F1",
+        "hard unknown F1",
+        "entries",
+    ])
+    .with_title(format!(
+        "Ablation: combinatorial fingerprints (fixed depth {DEPTH})"
+    ))
+    .with_aligns(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
+
+    for (label, k, mode) in [
+        ("1 metric", 1, Mode::Voting),
+        ("3 metrics, voting", 3, Mode::Voting),
+        ("3 metrics, conjunctive", 3, Mode::Combo),
+        ("5 metrics, voting", 5, Mode::Voting),
+        ("5 metrics, conjunctive", 5, Mode::Combo),
+    ] {
+        let (normal, hard, entries) = run_config(&cache, &labels, k, &mode, &opts);
+        table.add_row(vec![
+            label.to_string(),
+            fmt_score(normal),
+            fmt_score(hard),
+            entries.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape: voting adds robustness (normal fold stays high);\n\
+         conjunctive keys are the most exclusive (highest hard-unknown F1)\n\
+         at some cost in normal-fold robustness — the paper's future-work\n\
+         trade-off, quantified."
+    );
+}

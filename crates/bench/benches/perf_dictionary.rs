@@ -1,0 +1,73 @@
+//! Criterion: dictionary insert and lookup throughput (the EFD's
+//! "straightforward mechanism of recognition" is a hash probe).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efd_core::{EfdDictionary, Fingerprint, RoundingDepth};
+use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
+use efd_util::SplitMix64;
+
+fn filled(n: usize) -> (EfdDictionary, Vec<f64>) {
+    let mut d = EfdDictionary::new(RoundingDepth::new(3));
+    let mut rng = SplitMix64::new(1);
+    let label = AppLabel::new("ft", "X");
+    let mut means = Vec::with_capacity(n);
+    for i in 0..n {
+        let mean = 1000.0 + rng.next_f64() * 1e6;
+        d.insert_raw(
+            MetricId((i % 562) as u32),
+            NodeId((i % 32) as u16),
+            Interval::PAPER_DEFAULT,
+            mean,
+            &label,
+        );
+        means.push(mean);
+    }
+    (d, means)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dictionary");
+
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let (d, _) = filled(10_000);
+            black_box(d.len())
+        })
+    });
+
+    let (d, means) = filled(100_000);
+    group.bench_function("lookup_hit_100k_entries", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % means.len();
+            let fp = Fingerprint::from_raw(
+                MetricId((i % 562) as u32),
+                NodeId((i % 32) as u16),
+                Interval::PAPER_DEFAULT,
+                black_box(means[i]),
+                RoundingDepth::new(3),
+            )
+            .unwrap();
+            black_box(d.lookup(&fp).is_some())
+        })
+    });
+
+    group.bench_function("lookup_miss_100k_entries", |b| {
+        let mut rng = SplitMix64::new(9);
+        b.iter(|| {
+            let fp = Fingerprint::from_raw(
+                MetricId(600), // metric never inserted
+                NodeId(0),
+                Interval::PAPER_DEFAULT,
+                black_box(rng.next_f64() * 1e6),
+                RoundingDepth::new(3),
+            )
+            .unwrap();
+            black_box(d.lookup(&fp).is_none())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

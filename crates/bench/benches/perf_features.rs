@@ -1,0 +1,29 @@
+//! Criterion: feature-extraction throughput — the baseline's per-series
+//! cost (11 streamed statistics) vs the EFD's single window mean.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efd_ml::features::extract_into;
+use efd_telemetry::{Interval, TimeSeries};
+use efd_util::SplitMix64;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    let series = TimeSeries::from_values((0..300).map(|_| rng.next_f64() * 1e4).collect());
+
+    let mut group = c.benchmark_group("features");
+    group.bench_function("taxonomist_11_stats_300_samples", |b| {
+        let mut row = Vec::with_capacity(11);
+        b.iter(|| {
+            row.clear();
+            extract_into(black_box(series.values()).iter().copied(), &mut row);
+            black_box(row[0])
+        })
+    });
+    group.bench_function("efd_window_mean_60_samples", |b| {
+        b.iter(|| black_box(series.window_mean(black_box(Interval::PAPER_DEFAULT))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

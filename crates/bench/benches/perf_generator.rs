@@ -1,0 +1,34 @@
+//! Criterion: telemetry-generation throughput (the simulation substrate).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efd_telemetry::catalog::small_catalog;
+use efd_telemetry::trace::MetricSelection;
+use efd_telemetry::Interval;
+use efd_workload::{Dataset, DatasetSpec};
+
+fn bench(c: &mut Criterion) {
+    let dataset = Dataset::with_catalog(DatasetSpec::default(), small_catalog());
+    let one = MetricSelection::single(dataset.catalog().id("nr_mapped_vmstat").unwrap());
+    let all = MetricSelection::new(dataset.catalog().ids().collect());
+
+    let mut group = c.benchmark_group("generator");
+    group.bench_function("materialize_1_metric_300s_4_nodes", |b| {
+        b.iter(|| black_box(dataset.materialize(black_box(0), &one).sample_count()))
+    });
+    group.bench_function("materialize_9_metrics_300s_4_nodes", |b| {
+        b.iter(|| black_box(dataset.materialize(black_box(0), &all).sample_count()))
+    });
+    group.bench_function("window_means_fast_path_1_metric", |b| {
+        b.iter(|| {
+            black_box(
+                dataset
+                    .window_means(black_box(0), &one, Interval::PAPER_DEFAULT)
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

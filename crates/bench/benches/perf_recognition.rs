@@ -1,0 +1,47 @@
+//! Criterion: end-to-end recognition latency per execution — the paper's
+//! low-latency claim. One recognition = node_count hash probes + a vote.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efd_bench::{bench_dataset, headline_metric};
+use efd_core::observation::{LabeledObservation, Query};
+use efd_core::training::{Efd, EfdConfig};
+use efd_telemetry::trace::MetricSelection;
+use efd_telemetry::Interval;
+
+fn bench(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let metric = headline_metric(&dataset);
+    let sel = MetricSelection::single(metric);
+    let means: Vec<Vec<f64>> = dataset
+        .window_means_all(&sel, Interval::PAPER_DEFAULT)
+        .into_iter()
+        .map(|per_node| per_node.into_iter().map(|m| m[0]).collect())
+        .collect();
+    let labels = dataset.labels();
+    let observations: Vec<LabeledObservation> = (0..dataset.len())
+        .map(|i| LabeledObservation {
+            label: labels[i].clone(),
+            query: Query::from_node_means(metric, Interval::PAPER_DEFAULT, &means[i]),
+        })
+        .collect();
+    let efd = Efd::fit(EfdConfig::single_metric(metric), &observations);
+
+    let q4 = Query::from_node_means(metric, Interval::PAPER_DEFAULT, &means[0]);
+    // A 32-node query (L run): find one.
+    let l_run = (0..dataset.len())
+        .find(|&i| means[i].len() == 32)
+        .expect("an L run");
+    let q32 = Query::from_node_means(metric, Interval::PAPER_DEFAULT, &means[l_run]);
+
+    let mut group = c.benchmark_group("recognition");
+    group.bench_function("recognize_4_nodes", |b| {
+        b.iter(|| black_box(efd.recognize(black_box(&q4)).best().is_some()))
+    });
+    group.bench_function("recognize_32_nodes", |b| {
+        b.iter(|| black_box(efd.recognize(black_box(&q32)).best().is_some()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

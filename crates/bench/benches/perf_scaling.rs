@@ -1,0 +1,49 @@
+//! Criterion: recognition latency vs dictionary size — the MODA
+//! requirement that responses stay low-latency as the fingerprint store
+//! grows over months of operation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use efd_core::observation::Query;
+use efd_core::{EfdDictionary, RoundingDepth};
+use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
+use efd_util::SplitMix64;
+
+fn dict_with(entries: usize) -> EfdDictionary {
+    let mut d = EfdDictionary::new(RoundingDepth::new(4));
+    let mut rng = SplitMix64::new(11);
+    let apps = ["ft", "mg", "sp", "lu", "bt", "cg"];
+    let mut n = 0usize;
+    while d.len() < entries {
+        let app = apps[n % apps.len()];
+        d.insert_raw(
+            MetricId((n % 562) as u32),
+            NodeId((n % 4) as u16),
+            Interval::PAPER_DEFAULT,
+            1000.0 + rng.next_f64() * 1e7,
+            &AppLabel::new(app, "X"),
+        );
+        n += 1;
+    }
+    d
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    for entries in [100usize, 10_000, 1_000_000] {
+        let d = dict_with(entries);
+        let q = Query::from_node_means(
+            MetricId(0),
+            Interval::PAPER_DEFAULT,
+            &[5e6, 6e6, 7e6, 8e6],
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recognize_vs_entries", entries),
+            &entries,
+            |b, _| b.iter(|| black_box(d.recognize(black_box(&q)).matched_points)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 1 (rounding-depth mechanism).
+
+fn main() {
+    println!("{}", efd_eval::report::render_table1().render());
+    println!(
+        "('-' cells: depth exceeds the value's significant digits; the\n\
+         rounding is the identity there, as in the paper.)"
+    );
+}

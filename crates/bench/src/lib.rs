@@ -1,0 +1,54 @@
+//! Shared helpers for the bench targets.
+//!
+//! Every paper artifact (Tables 1–4, Figure 2) has a `harness = false`
+//! bench that regenerates it; `cargo bench --workspace` therefore re-runs
+//! the whole evaluation. Knobs:
+//!
+//! * `EFD_BENCH_TREES` — forest size for the Taxonomist baseline
+//!   (default 50; the paper-scale 100 doubles runtime).
+//! * `EFD_BENCH_SUBSET=full` — use the full-repetition dataset instead of
+//!   the public subset the paper actually evaluated on.
+//! * `EFD_THREADS` — worker threads (default: all cores).
+
+use efd_ml::taxonomist::TaxonomistConfig;
+use efd_workload::{Dataset, DatasetSpec, SubsetKind};
+
+/// The evaluation dataset (public subset by default, 562-metric catalog).
+pub fn bench_dataset() -> Dataset {
+    let subset = match std::env::var("EFD_BENCH_SUBSET").as_deref() {
+        Ok("full") => SubsetKind::Full,
+        _ => SubsetKind::Public,
+    };
+    Dataset::generate(DatasetSpec {
+        subset,
+        ..DatasetSpec::default()
+    })
+}
+
+/// Baseline configuration for benches.
+pub fn bench_taxonomist_config() -> TaxonomistConfig {
+    let n_trees = std::env::var("EFD_BENCH_TREES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    TaxonomistConfig {
+        n_trees,
+        ..Default::default()
+    }
+}
+
+/// The headline metric's id in a dataset.
+pub fn headline_metric(dataset: &Dataset) -> efd_telemetry::MetricId {
+    dataset
+        .catalog()
+        .id(efd_eval::paper::HEADLINE_METRIC)
+        .expect("headline metric present")
+}
+
+/// Wall-clock a closure, printing the elapsed time.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    println!("[{label}: {:.1?}]", start.elapsed());
+    out
+}

@@ -1,0 +1,10 @@
+fn main() {
+    let vals = vec![458175847.2046428f64, -365438309.52612925, f64::NAN, 915715693.3948455];
+    let s = efd_telemetry::series::TimeSeries::from_values(vals.clone());
+    let json = serde_json::to_string(&s).unwrap();
+    println!("json: {json}");
+    let back: efd_telemetry::series::TimeSeries = serde_json::from_str(&json).unwrap();
+    for (a, b) in s.values().iter().zip(back.values()) {
+        println!("{a} vs {b}  eq={}", (a == b) || (a.is_nan() && b.is_nan()));
+    }
+}

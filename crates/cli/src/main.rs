@@ -1,0 +1,382 @@
+//! `efd` — command-line front end for the Execution Fingerprint Dictionary.
+//!
+//! ```text
+//! efd table <1|2|3|4>                     regenerate a paper table
+//! efd figure2 [--trees N]                 regenerate Figure 2 (both systems)
+//! efd evaluate --experiment <kind> [--classifier efd|taxonomist]
+//! efd screen [--top N]                    per-metric F-scores (Table 3 data)
+//! efd recognize --run <idx>               leave-one-out demo on run <idx>
+//! efd export-dict --out <path>            train on everything, dump JSON
+//! efd report --out <path>                 write EXPERIMENTS.md content
+//! efd help
+//! ```
+//!
+//! All commands operate on the synthetic public-subset dataset
+//! (`--subset full` switches to the full-repetition variant,
+//! `--seed <u64>` regenerates a different universe).
+
+use std::process::ExitCode;
+
+use efd_core::serialize;
+use efd_eval::classifier::{EfdClassifier, ExecutionClassifier, TaxonomistClassifier};
+use efd_eval::experiments::{run_experiment, EvalOptions, ExperimentKind, ExperimentResult};
+use efd_eval::report;
+use efd_eval::screening::screen_metrics;
+use efd_ml::taxonomist::TaxonomistConfig;
+use efd_workload::{Dataset, DatasetSpec, SubsetKind};
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Self { positional, flags })
+    }
+
+    fn flag(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.flag(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value {v:?} for --{key}")),
+        }
+    }
+}
+
+fn dataset_from(args: &Args) -> Result<Dataset, String> {
+    let subset = match args.flag("subset") {
+        None | Some("public") => SubsetKind::Public,
+        Some("full") => SubsetKind::Full,
+        Some(other) => return Err(format!("unknown --subset {other:?} (public|full)")),
+    };
+    let mut spec = DatasetSpec {
+        subset,
+        ..DatasetSpec::default()
+    };
+    if let Some(seed) = args.flag_parsed::<u64>("seed")? {
+        spec.master_seed = seed;
+    }
+    Ok(Dataset::generate(spec))
+}
+
+fn taxonomist_cfg(args: &Args) -> Result<TaxonomistConfig, String> {
+    let mut cfg = TaxonomistConfig::default();
+    if let Some(n) = args.flag_parsed::<usize>("trees")? {
+        cfg.n_trees = n;
+    }
+    Ok(cfg)
+}
+
+fn experiment_kind(name: &str) -> Result<ExperimentKind, String> {
+    Ok(match name {
+        "normal-fold" => ExperimentKind::NormalFold,
+        "soft-input" => ExperimentKind::SoftInput,
+        "soft-unknown" => ExperimentKind::SoftUnknown,
+        "hard-input" => ExperimentKind::HardInput,
+        "hard-unknown" => ExperimentKind::HardUnknown,
+        other => {
+            return Err(format!(
+                "unknown experiment {other:?} \
+                 (normal-fold|soft-input|soft-unknown|hard-input|hard-unknown)"
+            ))
+        }
+    })
+}
+
+fn headline(dataset: &Dataset) -> efd_telemetry::MetricId {
+    dataset
+        .catalog()
+        .id(efd_eval::paper::HEADLINE_METRIC)
+        .expect("headline metric present in catalog")
+}
+
+fn run_all_experiments(dataset: &Dataset, cfg: TaxonomistConfig) -> Vec<ExperimentResult> {
+    let opts = EvalOptions::default();
+    let metric = headline(dataset);
+    let mut results = Vec::new();
+    let mut efd = EfdClassifier::new(metric);
+    for kind in ExperimentKind::ALL {
+        eprintln!("running EFD {kind}…");
+        results.push(run_experiment(kind, &mut efd, dataset, &opts));
+    }
+    let mut tax = TaxonomistClassifier::new(cfg);
+    for kind in ExperimentKind::ALL {
+        eprintln!("running Taxonomist {kind}…");
+        results.push(run_experiment(kind, &mut tax, dataset, &opts));
+    }
+    results
+}
+
+fn cmd_table(args: &Args) -> Result<(), String> {
+    let which = args
+        .positional
+        .first()
+        .ok_or("table needs a number (1-4)")?;
+    match which.as_str() {
+        "1" => println!("{}", report::render_table1().render()),
+        "2" => {
+            let d = dataset_from(args)?;
+            println!("{}", d.table2().render());
+        }
+        "3" => {
+            let d = dataset_from(args)?;
+            let scores = screen_metrics(&d, &EvalOptions::default(), None);
+            println!("{}", report::render_table3(&scores).render());
+            let top: usize = args.flag_parsed("top")?.unwrap_or(20);
+            println!("{}", report::render_table3_top(&scores, top).render());
+        }
+        "4" => {
+            let d = dataset_from(args)?;
+            println!("{}", report::render_table4(&d).render());
+        }
+        other => return Err(format!("unknown table {other:?} (1-4)")),
+    }
+    Ok(())
+}
+
+fn cmd_figure2(args: &Args) -> Result<(), String> {
+    let d = dataset_from(args)?;
+    let results = run_all_experiments(&d, taxonomist_cfg(args)?);
+    println!("{}", report::render_figure2(&results).render());
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let kind = experiment_kind(args.flag("experiment").ok_or("need --experiment")?)?;
+    let d = dataset_from(args)?;
+    let opts = EvalOptions::default();
+    let result = match args.flag("classifier").unwrap_or("efd") {
+        "efd" => run_experiment(kind, &mut EfdClassifier::new(headline(&d)), &d, &opts),
+        "taxonomist" => run_experiment(
+            kind,
+            &mut TaxonomistClassifier::new(taxonomist_cfg(args)?),
+            &d,
+            &opts,
+        ),
+        other => return Err(format!("unknown classifier {other:?} (efd|taxonomist)")),
+    };
+    println!(
+        "{} / {}: mean macro-F1 = {:.3}",
+        result.classifier, result.kind, result.mean_f1
+    );
+    for (variant, f1) in &result.per_variant {
+        println!("  {variant:<24} {f1:.3}");
+    }
+    Ok(())
+}
+
+fn cmd_screen(args: &Args) -> Result<(), String> {
+    let d = dataset_from(args)?;
+    let scores = screen_metrics(&d, &EvalOptions::default(), None);
+    let top: usize = args.flag_parsed("top")?.unwrap_or(30);
+    println!("{}", report::render_table3_top(&scores, top).render());
+    Ok(())
+}
+
+fn cmd_recognize(args: &Args) -> Result<(), String> {
+    let run: usize = args.flag_parsed("run")?.ok_or("need --run <index>")?;
+    let d = dataset_from(args)?;
+    if run >= d.len() {
+        return Err(format!("run index {run} out of range (0..{})", d.len()));
+    }
+    let metric = headline(&d);
+    let mut c = EfdClassifier::new(metric);
+    let train: Vec<usize> = (0..d.len()).filter(|&i| i != run).collect();
+    c.fit(&d, &train);
+    let model = c.model().expect("fitted");
+    // The EFD's data diet: only the first two minutes of the test run.
+    let trace = d.materialize_prefix(
+        run,
+        &efd_telemetry::trace::MetricSelection::single(metric),
+        120,
+    );
+    let rec = model.recognize_trace(&trace);
+    println!("run #{run}: true label = {}", d.labels()[run]);
+    println!("selected rounding depth: {}", model.depth());
+    println!("verdict: {:?}", rec.verdict);
+    if let Some(l) = rec.predicted_label() {
+        println!("predicted label (with input): {l}");
+    }
+    println!("votes:");
+    for (app, votes) in &rec.app_votes {
+        println!("  {app:<12} {votes}");
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out = args.flag("out").ok_or("need --out <dir>")?;
+    let count: usize = args.flag_parsed("count")?.unwrap_or(4);
+    let d = dataset_from(args)?;
+    let metric = headline(&d);
+    let selection = efd_telemetry::trace::MetricSelection::single(metric);
+    std::fs::create_dir_all(out).map_err(|e| format!("mkdir {out}: {e}"))?;
+    let mut written = 0usize;
+    for i in 0..count.min(d.len()) {
+        let trace = d.materialize(i, &selection);
+        for node in &trace.nodes {
+            let path = format!("{out}/run{i:04}_node{}.csv", node.node);
+            let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            efd_telemetry::csv::write_node_csv(&trace, node.node, d.catalog(), file)
+                .map_err(|e| format!("{path}: {e}"))?;
+            written += 1;
+        }
+    }
+    println!(
+        "wrote {written} node CSVs for {} runs to {out}/ \
+         (LDMS-artifact layout; re-ingest with `efd ingest-csv`)",
+        count.min(d.len())
+    );
+    Ok(())
+}
+
+fn cmd_ingest_csv(args: &Args) -> Result<(), String> {
+    let dir = args.flag("dir").ok_or("need --dir <path>")?;
+    let prefix = args.flag("run").ok_or("need --run <file-prefix, e.g. run0003>")?;
+    let d = dataset_from(args)?;
+
+    // Read every node CSV of the requested run.
+    let mut csvs = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name().to_string_lossy().to_string();
+        if !name.starts_with(prefix) || !name.ends_with(".csv") {
+            continue;
+        }
+        let file = std::fs::File::open(entry.path()).map_err(|e| format!("{name}: {e}"))?;
+        let parsed = efd_telemetry::csv::read_node_csv(std::io::BufReader::new(file))
+            .map_err(|e| format!("{name}: {e}"))?;
+        csvs.push(parsed);
+    }
+    if csvs.is_empty() {
+        return Err(format!("no CSVs matching {prefix}* in {dir}"));
+    }
+    let trace = efd_telemetry::csv::assemble_trace(csvs, d.catalog())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "ingested {} nodes x {} s (label in file: {})",
+        trace.node_count(),
+        trace.duration_s,
+        trace.label
+    );
+
+    // Recognize it against a dictionary trained on the synthetic dataset.
+    let metric = headline(&d);
+    let mut c = EfdClassifier::new(metric);
+    let all: Vec<usize> = (0..d.len()).collect();
+    c.fit(&d, &all);
+    let rec = c.model().expect("fitted").recognize_trace(&trace);
+    println!("verdict: {:?}", rec.verdict);
+    Ok(())
+}
+
+fn cmd_export_dict(args: &Args) -> Result<(), String> {
+    let out = args.flag("out").ok_or("need --out <path>")?;
+    let d = dataset_from(args)?;
+    let mut c = EfdClassifier::new(headline(&d));
+    let all: Vec<usize> = (0..d.len()).collect();
+    c.fit(&d, &all);
+    let json = serialize::to_json(c.model().expect("fitted").dictionary(), d.catalog());
+    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} bytes to {out}", json.len());
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let out = args.flag("out").unwrap_or("EXPERIMENTS.md");
+    let d = dataset_from(args)?;
+    let results = run_all_experiments(&d, taxonomist_cfg(args)?);
+    eprintln!("screening all metrics…");
+    let scores = screen_metrics(&d, &EvalOptions::default(), None);
+    let md = report::experiments_markdown(&results, &scores, &d);
+    std::fs::write(out, md).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+const HELP: &str = "\
+efd — Execution Fingerprint Dictionary (CLUSTER 2021 reproduction)
+
+USAGE: efd <command> [flags]
+
+COMMANDS
+  table <1|2|3|4>        regenerate a paper table
+  figure2                regenerate Figure 2 (all experiments, both systems)
+  evaluate               one experiment: --experiment <kind> [--classifier efd|taxonomist]
+  screen                 rank all 562 metrics by normal-fold F-score [--top N]
+  recognize              leave-one-out recognition demo: --run <idx>
+  generate               export runs as LDMS-style CSVs: --out <dir> [--count N]
+  ingest-csv             recognize a run from CSVs: --dir <path> --run <prefix>
+  export-dict            train on all runs, dump the dictionary: --out <path>
+  report                 write EXPERIMENTS.md content: [--out <path>]
+  help                   this text
+
+COMMON FLAGS
+  --subset public|full   dataset variant (default: public, as in the paper)
+  --seed <u64>           dataset master seed
+  --trees <n>            Taxonomist forest size (default 100)
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprint!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "table" => cmd_table(&args),
+        "figure2" => cmd_figure2(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "screen" => cmd_screen(&args),
+        "recognize" => cmd_recognize(&args),
+        "generate" => cmd_generate(&args),
+        "ingest-csv" => cmd_ingest_csv(&args),
+        "export-dict" => cmd_export_dict(&args),
+        "report" => cmd_report(&args),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; see `efd help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

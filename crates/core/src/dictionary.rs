@@ -1,0 +1,605 @@
+//! The dictionary: learning, lookup, and vote-based recognition.
+//!
+//! Keys are [`Fingerprint`]s; values are **insertion-ordered** lists of
+//! `application + input size` labels (the paper's Table 4 format). The
+//! ordering matters: when recognition ties, the EFD "will return an array
+//! of these application names" and the paper's evaluation "considers the
+//! first application name in the array" — which is the first one learned.
+//!
+//! Recognition: every point of a query is fingerprinted and looked up; each
+//! hit votes once for every application *name* in the entry (the paper
+//! aggregates over the whole execution, across nodes). Most votes wins;
+//! zero matches is the in-built [`Verdict::Unknown`] safeguard.
+
+use efd_telemetry::metric::MetricCatalog;
+use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
+use efd_util::table::TextTable;
+use efd_util::{Align, FxHashMap};
+
+use crate::fingerprint::{fmt_mean, Fingerprint};
+use crate::observation::{LabeledObservation, Query};
+use crate::rounding::RoundingDepth;
+
+/// Interned label (application + input size) within one dictionary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelId(u32);
+
+/// Interned application name within one dictionary (tie-break order =
+/// first-seen order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppNameId(u32);
+
+/// The Execution Fingerprint Dictionary.
+#[derive(Debug, Clone)]
+pub struct EfdDictionary {
+    depth: RoundingDepth,
+    map: FxHashMap<Fingerprint, Vec<LabelId>>,
+    /// Keys in first-insertion order (stable rendering, reproducible
+    /// dumps).
+    order: Vec<Fingerprint>,
+    labels: Vec<AppLabel>,
+    label_ids: FxHashMap<AppLabel, LabelId>,
+    apps: Vec<String>,
+    app_ids: FxHashMap<String, AppNameId>,
+    /// LabelId → AppNameId.
+    label_app: Vec<AppNameId>,
+}
+
+/// Outcome of recognizing one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Exactly one application had the most matches.
+    Recognized(String),
+    /// Several applications tied for the most matches; ordered by
+    /// first-learned (the paper scores the first).
+    Ambiguous(Vec<String>),
+    /// No fingerprint matched: never-seen execution (the paper's safeguard
+    /// against unknown applications).
+    Unknown,
+}
+
+/// Full recognition report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recognition {
+    /// The verdict (see [`Verdict`]).
+    pub verdict: Verdict,
+    /// Application vote counts, descending (ties in first-learned order).
+    pub app_votes: Vec<(String, u32)>,
+    /// Full-label vote counts (application + input), same ordering rules —
+    /// the paper's dictionary stores input sizes, so the EFD can also
+    /// predict them.
+    pub label_votes: Vec<(AppLabel, u32)>,
+    /// How many query points matched an entry.
+    pub matched_points: usize,
+    /// Total query points.
+    pub total_points: usize,
+}
+
+impl Recognition {
+    /// The application name the paper's evaluation scores: the single
+    /// recognized app, or the first of a tie array. `None` for unknown.
+    pub fn best(&self) -> Option<&str> {
+        match &self.verdict {
+            Verdict::Recognized(a) => Some(a),
+            Verdict::Ambiguous(apps) => apps.first().map(String::as_str),
+            Verdict::Unknown => None,
+        }
+    }
+
+    /// Most-voted full label (application + input size), if any matched.
+    pub fn predicted_label(&self) -> Option<&AppLabel> {
+        self.label_votes.first().map(|(l, _)| l)
+    }
+}
+
+/// Structural statistics of a dictionary (the paper's
+/// exclusiveness/repetition trade-off, quantified).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DictionaryStats {
+    /// Number of keys.
+    pub entries: usize,
+    /// Number of distinct labels (app + input).
+    pub labels: usize,
+    /// Number of distinct application names.
+    pub apps: usize,
+    /// Entries whose labels all share one application name ("application
+    /// exclusive execution fingerprints").
+    pub exclusive_entries: usize,
+    /// Entries spanning more than one application (key collisions, e.g.
+    /// SP/BT in Table 4).
+    pub colliding_entries: usize,
+    /// Largest number of distinct apps on one key.
+    pub max_apps_per_entry: usize,
+    /// Mean labels per entry (repetition count).
+    pub mean_labels_per_entry: f64,
+    /// Rough memory footprint in bytes (keys + label lists).
+    pub approx_bytes: usize,
+}
+
+impl EfdDictionary {
+    /// Empty dictionary pruning at `depth`.
+    pub fn new(depth: RoundingDepth) -> Self {
+        Self {
+            depth,
+            map: FxHashMap::default(),
+            order: Vec::new(),
+            labels: Vec::new(),
+            label_ids: FxHashMap::default(),
+            apps: Vec::new(),
+            app_ids: FxHashMap::default(),
+            label_app: Vec::new(),
+        }
+    }
+
+    /// The rounding depth this dictionary was built with.
+    pub fn depth(&self) -> RoundingDepth {
+        self.depth
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the dictionary holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Distinct labels learned.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Distinct application names learned, in first-learned order.
+    pub fn app_names(&self) -> &[String] {
+        &self.apps
+    }
+
+    fn intern_label(&mut self, label: &AppLabel) -> LabelId {
+        if let Some(&id) = self.label_ids.get(label) {
+            return id;
+        }
+        let app_id = match self.app_ids.get(&label.app) {
+            Some(&a) => a,
+            None => {
+                let a = AppNameId(self.apps.len() as u32);
+                self.apps.push(label.app.clone());
+                self.app_ids.insert(label.app.clone(), a);
+                a
+            }
+        };
+        let id = LabelId(self.labels.len() as u32);
+        self.labels.push(label.clone());
+        self.label_ids.insert(label.clone(), id);
+        self.label_app.push(app_id);
+        id
+    }
+
+    /// Pre-intern labels in a given order without inserting any keys.
+    ///
+    /// Tie-breaking between applications follows *first-learned* order;
+    /// serialization records that order and restore replays it here before
+    /// re-inserting entries, so restored dictionaries break ties
+    /// identically (see `serialize`).
+    pub fn preregister_labels(&mut self, labels: &[AppLabel]) {
+        for l in labels {
+            self.intern_label(l);
+        }
+    }
+
+    /// All labels in first-learned order (the tie-break order).
+    pub fn labels_in_order(&self) -> &[AppLabel] {
+        &self.labels
+    }
+
+    /// Insert one raw mean under `label`. Returns `false` (no-op) for
+    /// non-finite means. Duplicate (key, label) pairs are ignored, so
+    /// repeated executions "prune" into one entry — the paper's Figure 1
+    /// step (1).
+    pub fn insert_raw(
+        &mut self,
+        metric: MetricId,
+        node: NodeId,
+        interval: Interval,
+        raw_mean: f64,
+        label: &AppLabel,
+    ) -> bool {
+        let Some(fp) = Fingerprint::from_raw(metric, node, interval, raw_mean, self.depth) else {
+            return false;
+        };
+        let id = self.intern_label(label);
+        match self.map.get_mut(&fp) {
+            Some(list) => {
+                if !list.contains(&id) {
+                    list.push(id);
+                }
+            }
+            None => {
+                self.map.insert(fp, vec![id]);
+                self.order.push(fp);
+            }
+        }
+        true
+    }
+
+    /// Learn every point of a labeled observation.
+    pub fn learn(&mut self, obs: &LabeledObservation) {
+        for p in &obs.query.points {
+            self.insert_raw(p.metric, p.node, p.interval, p.mean, &obs.label);
+        }
+    }
+
+    /// Learn a batch of observations (dataset order = insertion order,
+    /// which fixes tie-break order).
+    pub fn learn_all(&mut self, observations: &[LabeledObservation]) {
+        for o in observations {
+            self.learn(o);
+        }
+    }
+
+    /// Labels stored under a fingerprint, in insertion order.
+    pub fn lookup(&self, fp: &Fingerprint) -> Option<Vec<&AppLabel>> {
+        self.map
+            .get(fp)
+            .map(|ids| ids.iter().map(|id| &self.labels[id.0 as usize]).collect())
+    }
+
+    /// Round a raw mean and look it up.
+    pub fn lookup_raw(
+        &self,
+        metric: MetricId,
+        node: NodeId,
+        interval: Interval,
+        raw_mean: f64,
+    ) -> Option<Vec<&AppLabel>> {
+        let fp = Fingerprint::from_raw(metric, node, interval, raw_mean, self.depth)?;
+        self.lookup(&fp)
+    }
+
+    /// Recognize an execution: fingerprint every point, look it up, count
+    /// votes per application name, return the most-matched (paper Figure 1
+    /// steps (2)–(3)).
+    pub fn recognize(&self, query: &Query) -> Recognition {
+        let mut app_votes: FxHashMap<AppNameId, u32> = FxHashMap::default();
+        let mut label_votes: FxHashMap<LabelId, u32> = FxHashMap::default();
+        let mut matched_points = 0usize;
+
+        let mut entry_apps: Vec<AppNameId> = Vec::new();
+        for p in &query.points {
+            let Some(fp) =
+                Fingerprint::from_raw(p.metric, p.node, p.interval, p.mean, self.depth)
+            else {
+                continue;
+            };
+            let Some(ids) = self.map.get(&fp) else {
+                continue;
+            };
+            matched_points += 1;
+            entry_apps.clear();
+            for &id in ids {
+                *label_votes.entry(id).or_default() += 1;
+                let app = self.label_app[id.0 as usize];
+                // One vote per app per matched point, even if several
+                // inputs of the same app share the entry.
+                if !entry_apps.contains(&app) {
+                    entry_apps.push(app);
+                    *app_votes.entry(app).or_default() += 1;
+                }
+            }
+        }
+
+        // Sort by votes desc, then first-learned order.
+        let mut app_votes: Vec<(AppNameId, u32)> = app_votes.into_iter().collect();
+        app_votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut label_votes: Vec<(LabelId, u32)> = label_votes.into_iter().collect();
+        label_votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+
+        let verdict = match app_votes.as_slice() {
+            [] => Verdict::Unknown,
+            [(top, _)] => Verdict::Recognized(self.apps[top.0 as usize].clone()),
+            [(top, top_votes), rest @ ..] => {
+                let tied: Vec<String> = std::iter::once(*top)
+                    .chain(
+                        rest.iter()
+                            .take_while(|(_, v)| v == top_votes)
+                            .map(|(a, _)| *a),
+                    )
+                    .map(|a| self.apps[a.0 as usize].clone())
+                    .collect();
+                if tied.len() == 1 {
+                    Verdict::Recognized(tied.into_iter().next().unwrap())
+                } else {
+                    Verdict::Ambiguous(tied)
+                }
+            }
+        };
+
+        Recognition {
+            verdict,
+            app_votes: app_votes
+                .into_iter()
+                .map(|(a, v)| (self.apps[a.0 as usize].clone(), v))
+                .collect(),
+            label_votes: label_votes
+                .into_iter()
+                .map(|(l, v)| (self.labels[l.0 as usize].clone(), v))
+                .collect(),
+            matched_points,
+            total_points: query.points.len(),
+        }
+    }
+
+    /// Entries in insertion order: `(fingerprint, labels)`.
+    pub fn entries(&self) -> impl Iterator<Item = (&Fingerprint, Vec<&AppLabel>)> + '_ {
+        self.order.iter().map(move |fp| {
+            let labels = self.map[fp]
+                .iter()
+                .map(|id| &self.labels[id.0 as usize])
+                .collect();
+            (fp, labels)
+        })
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> DictionaryStats {
+        let mut exclusive = 0usize;
+        let mut colliding = 0usize;
+        let mut max_apps = 0usize;
+        let mut total_labels = 0usize;
+        let mut apps_seen: Vec<AppNameId> = Vec::new();
+        for ids in self.map.values() {
+            total_labels += ids.len();
+            apps_seen.clear();
+            for &id in ids {
+                let a = self.label_app[id.0 as usize];
+                if !apps_seen.contains(&a) {
+                    apps_seen.push(a);
+                }
+            }
+            max_apps = max_apps.max(apps_seen.len());
+            if apps_seen.len() <= 1 {
+                exclusive += 1;
+            } else {
+                colliding += 1;
+            }
+        }
+        let entries = self.map.len();
+        DictionaryStats {
+            entries,
+            labels: self.labels.len(),
+            apps: self.apps.len(),
+            exclusive_entries: exclusive,
+            colliding_entries: colliding,
+            max_apps_per_entry: max_apps,
+            mean_labels_per_entry: if entries == 0 {
+                0.0
+            } else {
+                total_labels as f64 / entries as f64
+            },
+            approx_bytes: entries * (std::mem::size_of::<Fingerprint>() + 16)
+                + total_labels * std::mem::size_of::<LabelId>(),
+        }
+    }
+
+    /// Render the dictionary as the paper's Table 4.
+    pub fn render_table4(&self, catalog: &MetricCatalog) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "Metric Name",
+            "Node",
+            "Interval",
+            "Mean",
+            "Value (application + input size)",
+        ])
+        .with_title(format!(
+            "Example Execution Fingerprint Dictionary (rounding depth {})",
+            self.depth
+        ))
+        .with_aligns(vec![
+            Align::Left,
+            Align::Right,
+            Align::Center,
+            Align::Right,
+            Align::Left,
+        ]);
+        for (fp, labels) in self.entries() {
+            let value = labels
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            t.add_row(vec![
+                catalog.name(fp.metric).to_string(),
+                fp.node.to_string(),
+                fp.interval.to_string(),
+                fmt_mean(fp.mean()),
+                value,
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::ObsPoint;
+
+    const M: MetricId = MetricId(0);
+    const W: Interval = Interval::PAPER_DEFAULT;
+
+    fn lab(app: &str, input: &str) -> AppLabel {
+        AppLabel::new(app, input)
+    }
+
+    /// A miniature Table 4: ft at ~6000, sp/bt colliding at ~7500 (depth
+    /// 2), miniAMR input-dependent.
+    fn toy_dict() -> EfdDictionary {
+        let mut d = EfdDictionary::new(RoundingDepth::new(2));
+        for (app, input, means) in [
+            ("ft", "X", [6020.0, 6020.0, 6020.0, 6020.0]),
+            ("ft", "Y", [6023.0, 6019.0, 6021.0, 6018.0]),
+            ("sp", "X", [7617.0, 7520.0, 7520.0, 7121.0]),
+            ("bt", "X", [7638.0, 7540.0, 7540.0, 7140.0]),
+            ("miniAMR", "X", [7820.0; 4]),
+            ("miniAMR", "Z", [10980.0; 4]),
+        ] {
+            for (n, &mean) in means.iter().enumerate() {
+                d.insert_raw(M, NodeId(n as u16), W, mean, &lab(app, input));
+            }
+        }
+        d
+    }
+
+    fn query(means: [f64; 4]) -> Query {
+        Query::from_node_means(M, W, &means)
+    }
+
+    #[test]
+    fn pruning_dedupes_repeated_executions() {
+        let d = toy_dict();
+        // ft X and ft Y all round to 6000 per node → 4 keys, each holding
+        // both labels.
+        let fp = Fingerprint::from_rounded(M, NodeId(0), W, 6000.0);
+        let labels = d.lookup(&fp).unwrap();
+        assert_eq!(
+            labels.iter().map(|l| l.to_string()).collect::<Vec<_>>(),
+            vec!["ft X", "ft Y"]
+        );
+    }
+
+    #[test]
+    fn recognize_exclusive_app() {
+        let d = toy_dict();
+        let r = d.recognize(&query([6031.0, 5988.0, 6007.0, 6044.0]));
+        assert_eq!(r.verdict, Verdict::Recognized("ft".into()));
+        assert_eq!(r.best(), Some("ft"));
+        assert_eq!(r.matched_points, 4);
+        assert_eq!(r.app_votes[0], ("ft".into(), 4));
+    }
+
+    #[test]
+    fn sp_bt_collision_yields_tie_array_sp_first() {
+        let d = toy_dict();
+        // At depth 2, SP and BT share every key; SP was learned first.
+        let r = d.recognize(&query([7601.0, 7512.0, 7533.0, 7098.0]));
+        assert_eq!(
+            r.verdict,
+            Verdict::Ambiguous(vec!["sp".into(), "bt".into()])
+        );
+        // The paper's evaluation rule scores the first element.
+        assert_eq!(r.best(), Some("sp"));
+    }
+
+    #[test]
+    fn depth3_separates_sp_from_bt() {
+        let mut d = EfdDictionary::new(RoundingDepth::new(3));
+        for (n, mean) in [7617.0, 7520.0, 7520.0, 7121.0].iter().enumerate() {
+            d.insert_raw(M, NodeId(n as u16), W, *mean, &lab("sp", "X"));
+        }
+        for (n, mean) in [7638.0, 7540.0, 7540.0, 7140.0].iter().enumerate() {
+            d.insert_raw(M, NodeId(n as u16), W, *mean, &lab("bt", "X"));
+        }
+        let r = d.recognize(&query([7622.0, 7518.0, 7521.0, 7119.0]));
+        assert_eq!(r.verdict, Verdict::Recognized("sp".into()));
+        let r = d.recognize(&query([7641.0, 7542.0, 7538.0, 7142.0]));
+        assert_eq!(r.verdict, Verdict::Recognized("bt".into()));
+    }
+
+    #[test]
+    fn unknown_when_nothing_matches() {
+        let d = toy_dict();
+        let r = d.recognize(&query([1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(r.verdict, Verdict::Unknown);
+        assert_eq!(r.best(), None);
+        assert_eq!(r.matched_points, 0);
+        assert_eq!(r.total_points, 4);
+    }
+
+    #[test]
+    fn majority_wins_over_partial_matches() {
+        let d = toy_dict();
+        // 3 nodes look like ft, 1 node collides with miniAMR X.
+        let r = d.recognize(&query([6000.0, 6000.0, 6000.0, 7800.0]));
+        assert_eq!(r.verdict, Verdict::Recognized("ft".into()));
+        assert_eq!(r.app_votes[0], ("ft".into(), 3));
+        assert_eq!(r.app_votes[1], ("miniAMR".into(), 1));
+    }
+
+    #[test]
+    fn input_size_prediction() {
+        let d = toy_dict();
+        let r = d.recognize(&query([10951.0, 11020.0, 10990.0, 11043.0]));
+        assert_eq!(r.verdict, Verdict::Recognized("miniAMR".into()));
+        assert_eq!(r.predicted_label().unwrap().to_string(), "miniAMR Z");
+    }
+
+    #[test]
+    fn nan_points_do_not_match() {
+        let d = toy_dict();
+        let q = Query {
+            points: vec![ObsPoint {
+                metric: M,
+                node: NodeId(0),
+                interval: W,
+                mean: f64::NAN,
+            }],
+        };
+        let r = d.recognize(&q);
+        assert_eq!(r.verdict, Verdict::Unknown);
+        assert_eq!(r.total_points, 1);
+    }
+
+    #[test]
+    fn insert_nan_is_noop() {
+        let mut d = EfdDictionary::new(RoundingDepth::new(2));
+        assert!(!d.insert_raw(M, NodeId(0), W, f64::NAN, &lab("ft", "X")));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn stats_count_collisions() {
+        let d = toy_dict();
+        let s = d.stats();
+        // Keys: ft 6000×4 nodes, sp/bt shared ×4, miniAMR X 7800×4,
+        // miniAMR Z 11000×4 = 16 entries.
+        assert_eq!(s.entries, 16);
+        assert_eq!(s.apps, 4);
+        assert_eq!(s.labels, 6);
+        assert_eq!(s.colliding_entries, 4); // the sp/bt keys
+        assert_eq!(s.exclusive_entries, 12);
+        assert_eq!(s.max_apps_per_entry, 2);
+        assert!(s.approx_bytes > 0);
+    }
+
+    #[test]
+    fn entries_iterate_in_insertion_order() {
+        let d = toy_dict();
+        let first = d.entries().next().unwrap();
+        assert_eq!(first.0.mean(), 6000.0);
+        assert_eq!(first.0.node, NodeId(0));
+    }
+
+    #[test]
+    fn render_table4_shape() {
+        let d = toy_dict();
+        let s = d.render_table4(&efd_telemetry::catalog::small_catalog()).render();
+        assert!(s.contains("nr_mapped_vmstat"), "{s}");
+        assert!(s.contains("sp X, bt X"), "{s}");
+        assert!(s.contains("11000.0"), "{s}");
+        assert!(s.contains("[60:120]"), "{s}");
+    }
+
+    #[test]
+    fn learn_from_observation() {
+        let mut d = EfdDictionary::new(RoundingDepth::new(2));
+        let obs = LabeledObservation {
+            label: lab("cg", "Y"),
+            query: query([6800.0, 6810.0, 6790.0, 6805.0]),
+        };
+        d.learn(&obs);
+        assert_eq!(d.len(), 4);
+        let r = d.recognize(&query([6802.0, 6798.0, 6812.0, 6801.0]));
+        assert_eq!(r.verdict, Verdict::Recognized("cg".into()));
+    }
+}

@@ -1,0 +1,259 @@
+//! Dictionary maintenance for long-running deployments.
+//!
+//! A production EFD lives for months: new applications are learned
+//! continuously ("as simple as adding new keys"), sites exchange
+//! dictionaries, decommissioned applications must be dropped, and software
+//! updates change an application's footprint, stranding stale keys. This
+//! module provides the operations the paper's operational story implies
+//! but does not spell out:
+//!
+//! * [`merge`] — union two dictionaries (e.g. per-cluster dictionaries into
+//!   a site dictionary). Label lists concatenate preserving the receiving
+//!   dictionary's tie-break order; depths must match (a depth-2 key and a
+//!   depth-3 key never collide meaningfully, so merging across depths is
+//!   rejected).
+//! * [`forget_app`] / [`forget_label`] — remove an application (or one
+//!   app+input) everywhere; keys whose label lists empty out disappear.
+//! * [`retain_metrics`] — restrict to a metric subset (e.g. after a
+//!   monitoring-config change drops samplers).
+
+use efd_telemetry::MetricId;
+
+use crate::dictionary::EfdDictionary;
+use crate::observation::LabeledObservation;
+use crate::observation::{ObsPoint, Query};
+
+/// Errors from dictionary maintenance.
+#[derive(Debug, PartialEq, Eq)]
+pub enum MaintenanceError {
+    /// The dictionaries were built at different rounding depths.
+    DepthMismatch {
+        /// Depth of the receiving dictionary.
+        ours: u8,
+        /// Depth of the incoming dictionary.
+        theirs: u8,
+    },
+}
+
+impl std::fmt::Display for MaintenanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaintenanceError::DepthMismatch { ours, theirs } => write!(
+                f,
+                "cannot merge dictionaries of different rounding depths ({ours} vs {theirs})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MaintenanceError {}
+
+/// Merge `incoming` into `dict`: every (key, label) pair of `incoming` is
+/// inserted into `dict` (idempotent for duplicates). Existing tie-break
+/// order in `dict` is preserved; incoming labels append after.
+pub fn merge(
+    dict: &mut EfdDictionary,
+    incoming: &EfdDictionary,
+) -> Result<(), MaintenanceError> {
+    if dict.depth() != incoming.depth() {
+        return Err(MaintenanceError::DepthMismatch {
+            ours: dict.depth().get(),
+            theirs: incoming.depth().get(),
+        });
+    }
+    for (fp, labels) in incoming.entries() {
+        for label in labels {
+            // Means are already rounded at the same depth; re-rounding is
+            // idempotent, so insert_raw reproduces the key exactly.
+            dict.insert_raw(fp.metric, fp.node, fp.interval, fp.mean(), label);
+        }
+    }
+    Ok(())
+}
+
+/// Rebuild `dict` without any labels of application `app`. Returns the
+/// number of keys dropped entirely (all their labels belonged to `app`).
+pub fn forget_app(dict: &mut EfdDictionary, app: &str) -> usize {
+    rebuild_retaining(dict, |l| l.app != app)
+}
+
+/// Rebuild `dict` without one specific label (application + input).
+pub fn forget_label(dict: &mut EfdDictionary, app: &str, input: &str) -> usize {
+    rebuild_retaining(dict, |l| !(l.app == app && l.input == input))
+}
+
+/// Rebuild `dict` keeping only keys of the given metrics.
+pub fn retain_metrics(dict: &mut EfdDictionary, metrics: &[MetricId]) -> usize {
+    let before = dict.len();
+    let depth = dict.depth();
+    let mut fresh = EfdDictionary::new(depth);
+    for (fp, labels) in dict.entries() {
+        if !metrics.contains(&fp.metric) {
+            continue;
+        }
+        for label in labels {
+            fresh.insert_raw(fp.metric, fp.node, fp.interval, fp.mean(), label);
+        }
+    }
+    let dropped = before - fresh.len();
+    *dict = fresh;
+    dropped
+}
+
+fn rebuild_retaining(
+    dict: &mut EfdDictionary,
+    keep: impl Fn(&efd_telemetry::AppLabel) -> bool,
+) -> usize {
+    let before = dict.len();
+    let mut fresh = EfdDictionary::new(dict.depth());
+    for (fp, labels) in dict.entries() {
+        for label in labels {
+            if keep(label) {
+                fresh.insert_raw(fp.metric, fp.node, fp.interval, fp.mean(), label);
+            }
+        }
+    }
+    let dropped = before - fresh.len();
+    *dict = fresh;
+    dropped
+}
+
+/// Relearn an application whose footprint changed (software update): drop
+/// its old keys, then learn the new observations — the EFD's model-free
+/// equivalent of retraining.
+pub fn relearn_app(
+    dict: &mut EfdDictionary,
+    app: &str,
+    observations: &[LabeledObservation],
+) -> usize {
+    let dropped = forget_app(dict, app);
+    for obs in observations {
+        debug_assert_eq!(obs.label.app, app, "relearn_app fed a foreign label");
+        dict.learn(obs);
+    }
+    dropped
+}
+
+/// Convenience: a query probing a single fingerprint (used by maintenance
+/// tooling and tests).
+pub fn probe(metric: MetricId, node: efd_telemetry::NodeId, interval: efd_telemetry::Interval, mean: f64) -> Query {
+    Query {
+        points: vec![ObsPoint {
+            metric,
+            node,
+            interval,
+            mean,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::Verdict;
+    use crate::observation::Query;
+    use crate::rounding::RoundingDepth;
+    use efd_telemetry::{AppLabel, Interval, NodeId};
+
+    const M: MetricId = MetricId(0);
+    const M2: MetricId = MetricId(1);
+    const W: Interval = Interval::PAPER_DEFAULT;
+
+    fn dict_with(entries: &[(&str, &str, f64)]) -> EfdDictionary {
+        let mut d = EfdDictionary::new(RoundingDepth::new(2));
+        for (app, input, mean) in entries {
+            d.insert_raw(M, NodeId(0), W, *mean, &AppLabel::new(*app, *input));
+        }
+        d
+    }
+
+    #[test]
+    fn merge_unions_keys_and_labels() {
+        let mut site = dict_with(&[("ft", "X", 6000.0), ("sp", "X", 7500.0)]);
+        let cluster_b = dict_with(&[("sp", "X", 7500.0), ("kripke", "Y", 8700.0)]);
+        merge(&mut site, &cluster_b).unwrap();
+        assert_eq!(site.len(), 3);
+        let q = Query::from_node_means(M, W, &[8700.0]);
+        assert_eq!(site.recognize(&q).best(), Some("kripke"));
+        // Duplicate (key, label) did not duplicate the label.
+        let q = Query::from_node_means(M, W, &[7500.0]);
+        assert_eq!(site.recognize(&q).app_votes.len(), 1);
+    }
+
+    #[test]
+    fn merge_preserves_receiving_tie_order() {
+        // Site learned sp first; incoming has bt on the same key.
+        let mut site = dict_with(&[("sp", "X", 7500.0)]);
+        let incoming = dict_with(&[("bt", "X", 7500.0)]);
+        merge(&mut site, &incoming).unwrap();
+        let q = Query::from_node_means(M, W, &[7500.0]);
+        let r = site.recognize(&q);
+        assert_eq!(
+            r.verdict,
+            Verdict::Ambiguous(vec!["sp".into(), "bt".into()])
+        );
+    }
+
+    #[test]
+    fn merge_rejects_depth_mismatch() {
+        let mut a = EfdDictionary::new(RoundingDepth::new(2));
+        let b = EfdDictionary::new(RoundingDepth::new(3));
+        assert_eq!(
+            merge(&mut a, &b),
+            Err(MaintenanceError::DepthMismatch { ours: 2, theirs: 3 })
+        );
+    }
+
+    #[test]
+    fn forget_app_drops_exclusive_keys_but_keeps_shared() {
+        let mut d = dict_with(&[
+            ("sp", "X", 7500.0),
+            ("bt", "X", 7500.0), // shared key
+            ("bt", "X", 9900.0), // bt-exclusive key
+        ]);
+        assert_eq!(d.len(), 2);
+        let dropped = forget_app(&mut d, "bt");
+        assert_eq!(dropped, 1, "only the bt-exclusive key disappears");
+        let q = Query::from_node_means(M, W, &[7500.0]);
+        assert_eq!(d.recognize(&q).verdict, Verdict::Recognized("sp".into()));
+        let q = Query::from_node_means(M, W, &[9900.0]);
+        assert_eq!(d.recognize(&q).verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn forget_label_is_input_scoped() {
+        let mut d = dict_with(&[("miniAMR", "X", 7800.0), ("miniAMR", "Z", 11000.0)]);
+        forget_label(&mut d, "miniAMR", "Z");
+        let q = Query::from_node_means(M, W, &[11000.0]);
+        assert_eq!(d.recognize(&q).verdict, Verdict::Unknown);
+        let q = Query::from_node_means(M, W, &[7800.0]);
+        assert_eq!(d.recognize(&q).best(), Some("miniAMR"));
+    }
+
+    #[test]
+    fn retain_metrics_drops_foreign_keys() {
+        let mut d = EfdDictionary::new(RoundingDepth::new(2));
+        d.insert_raw(M, NodeId(0), W, 6000.0, &AppLabel::new("ft", "X"));
+        d.insert_raw(M2, NodeId(0), W, 1234.0, &AppLabel::new("ft", "X"));
+        let dropped = retain_metrics(&mut d, &[M]);
+        assert_eq!(dropped, 1);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn relearn_replaces_an_apps_footprint() {
+        let mut d = dict_with(&[("cg", "X", 6800.0), ("ft", "X", 6000.0)]);
+        // cg's new version uses a different footprint.
+        let new_obs = vec![LabeledObservation {
+            label: AppLabel::new("cg", "X"),
+            query: Query::from_node_means(M, W, &[9100.0]),
+        }];
+        relearn_app(&mut d, "cg", &new_obs);
+        let q = Query::from_node_means(M, W, &[6800.0]);
+        assert_eq!(d.recognize(&q).verdict, Verdict::Unknown, "old cg forgotten");
+        let q = Query::from_node_means(M, W, &[9100.0]);
+        assert_eq!(d.recognize(&q).best(), Some("cg"));
+        let q = Query::from_node_means(M, W, &[6000.0]);
+        assert_eq!(d.recognize(&q).best(), Some("ft"), "other apps untouched");
+    }
+}

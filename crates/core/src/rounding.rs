@@ -1,0 +1,246 @@
+//! Rounding depth: the EFD's pruning mechanism (paper Table 1).
+//!
+//! > "Rounding depth defines the position of a non-zero digit, counting
+//! > from the left, to which we will round."
+//!
+//! I.e. round to `depth` *significant decimal digits*, independent of the
+//! value's magnitude — so the same rule prunes `1358.0` and `0.038` without
+//! knowing either in advance:
+//!
+//! | value  | depth 4 | depth 3 | depth 2 | depth 1 |
+//! |--------|---------|---------|---------|---------|
+//! | 1358.0 | 1358.0  | 1360.0  | 1400.0  | 1000.0  |
+//! | 5.28   | —       | 5.28    | 5.3     | 5.0     |
+//! | 0.038  | —       | —       | 0.038   | 0.04    |
+//!
+//! ("—" = depth exceeds the value's significant digits; the value is
+//! returned unchanged, which the arithmetic below does naturally.)
+//!
+//! Ties round half away from zero (`f64::round` semantics). Zero and
+//! non-finite values pass through unchanged. No pruning (high depth) yields
+//! precise fingerprints with high exclusiveness but low repetition;
+//! excessive pruning (depth 1) yields generic fingerprints with high
+//! repetition but low exclusiveness — the trade-off the inner
+//! cross-validation of [`crate::training`] navigates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Round `v` to `depth` significant decimal digits (half away from zero).
+///
+/// `depth` must be ≥ 1. Values whose decimal representation has at most
+/// `depth` significant digits are returned unchanged (up to f64
+/// round-trip). Zero, NaN and infinities pass through.
+///
+/// ```
+/// use efd_core::rounding::round_to_depth;
+/// assert_eq!(round_to_depth(1358.0, 3), 1360.0);
+/// assert_eq!(round_to_depth(1358.0, 2), 1400.0);
+/// assert_eq!(round_to_depth(0.038, 1), 0.04);
+/// ```
+pub fn round_to_depth(v: f64, depth: u8) -> f64 {
+    assert!(depth >= 1, "rounding depth must be >= 1");
+    if v == 0.0 || !v.is_finite() {
+        return v;
+    }
+    // f64 carries ~15.95 significant decimal digits; at depth >= 16 the
+    // scaled value would exceed 2^53 and the "rounding" would corrupt the
+    // mantissa instead. Such depths are identity by construction.
+    if depth >= 16 {
+        return v;
+    }
+    let magnitude = v.abs().log10().floor() as i32;
+    let shift = depth as i32 - 1 - magnitude;
+    // Above ~10^300 the scale factor itself would overflow; such
+    // magnitudes carry no meaningful decimal structure for telemetry.
+    if !(-300..=300).contains(&shift) {
+        return v;
+    }
+    // Powers of ten up to 10^22 are exactly representable; negative powers
+    // are NOT, so divide by the positive power instead of multiplying by
+    // its inverse (keeps e.g. round(-1e9, 1) == -1e9 bit-exactly).
+    if shift >= 0 {
+        let factor = 10f64.powi(shift);
+        (v * factor).round() / factor
+    } else {
+        let factor = 10f64.powi(-shift);
+        (v / factor).round() * factor
+    }
+}
+
+/// Validated rounding depth (1 ..= 17; 17 significant digits exceed f64
+/// decimal precision, i.e. identity).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct RoundingDepth(u8);
+
+impl RoundingDepth {
+    /// Maximum supported depth.
+    pub const MAX: u8 = 17;
+
+    /// The paper's example-dictionary depth (Table 4).
+    pub const TABLE4: RoundingDepth = RoundingDepth(2);
+
+    /// Construct a depth; panics outside `1..=17`.
+    pub fn new(depth: u8) -> Self {
+        assert!(
+            (1..=Self::MAX).contains(&depth),
+            "rounding depth must be in 1..={}, got {depth}",
+            Self::MAX
+        );
+        Self(depth)
+    }
+
+    /// The raw depth value.
+    #[inline]
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Round a value at this depth.
+    #[inline]
+    pub fn round(self, v: f64) -> f64 {
+        round_to_depth(v, self.0)
+    }
+
+    /// The default candidate grid for depth selection (1..=6): telemetry
+    /// means rarely carry more than six reproducible significant digits.
+    pub fn candidates() -> Vec<RoundingDepth> {
+        (1..=6).map(RoundingDepth).collect()
+    }
+}
+
+impl fmt::Display for RoundingDepth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_table1_row_1358() {
+        assert_eq!(round_to_depth(1358.0, 5), 1358.0); // "—": unchanged
+        assert_eq!(round_to_depth(1358.0, 4), 1358.0);
+        assert_eq!(round_to_depth(1358.0, 3), 1360.0);
+        assert_eq!(round_to_depth(1358.0, 2), 1400.0);
+        assert_eq!(round_to_depth(1358.0, 1), 1000.0);
+    }
+
+    #[test]
+    fn paper_table1_row_5_28() {
+        assert_eq!(round_to_depth(5.28, 4), 5.28); // "—"
+        assert_eq!(round_to_depth(5.28, 3), 5.28);
+        assert_eq!(round_to_depth(5.28, 2), 5.3);
+        assert_eq!(round_to_depth(5.28, 1), 5.0);
+    }
+
+    #[test]
+    fn paper_table1_row_0_038() {
+        assert_eq!(round_to_depth(0.038, 3), 0.038); // "—"
+        assert_eq!(round_to_depth(0.038, 2), 0.038);
+        assert_eq!(round_to_depth(0.038, 1), 0.04);
+    }
+
+    #[test]
+    fn table4_values_at_depth_2() {
+        // The example dictionary's cells are depth-2 roundings.
+        assert_eq!(round_to_depth(7617.76, 2), 7600.0);
+        assert_eq!(round_to_depth(7520.0, 2), 7500.0);
+        assert_eq!(round_to_depth(7121.44, 2), 7100.0);
+        assert_eq!(round_to_depth(6020.0, 2), 6000.0);
+        assert_eq!(round_to_depth(10980.0, 2), 11000.0);
+    }
+
+    #[test]
+    fn half_rounds_away_from_zero() {
+        assert_eq!(round_to_depth(1350.0, 2), 1400.0);
+        assert_eq!(round_to_depth(-1350.0, 2), -1400.0);
+        assert_eq!(round_to_depth(0.25, 1), 0.3);
+    }
+
+    #[test]
+    fn negative_values_mirror_positive() {
+        assert_eq!(round_to_depth(-1358.0, 3), -1360.0);
+        assert_eq!(round_to_depth(-0.038, 1), -0.04);
+    }
+
+    #[test]
+    fn zero_and_nonfinite_pass_through() {
+        assert_eq!(round_to_depth(0.0, 3), 0.0);
+        assert!(round_to_depth(f64::NAN, 2).is_nan());
+        assert_eq!(round_to_depth(f64::INFINITY, 2), f64::INFINITY);
+        assert_eq!(round_to_depth(f64::NEG_INFINITY, 2), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rounding_can_bump_magnitude() {
+        assert_eq!(round_to_depth(995.0, 2), 1000.0);
+        assert_eq!(round_to_depth(0.0995, 2), 0.1);
+    }
+
+    #[test]
+    fn extreme_magnitudes_pass_through() {
+        assert_eq!(round_to_depth(1e308, 1), 1e308);
+        assert_eq!(round_to_depth(1e-308, 1), 1e-308);
+    }
+
+    #[test]
+    fn depth_type_bounds() {
+        assert_eq!(RoundingDepth::new(3).get(), 3);
+        assert_eq!(RoundingDepth::new(3).to_string(), "3");
+        assert_eq!(RoundingDepth::candidates().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "rounding depth")]
+    fn depth_zero_rejected() {
+        RoundingDepth::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rounding depth")]
+    fn depth_18_rejected() {
+        RoundingDepth::new(18);
+    }
+
+    proptest! {
+        #[test]
+        fn idempotent(v in -1e9f64..1e9, d in 1u8..=8) {
+            let once = round_to_depth(v, d);
+            let twice = round_to_depth(once, d);
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn within_half_grain(v in 1e-6f64..1e9, d in 1u8..=8) {
+            let r = round_to_depth(v, d);
+            let magnitude = v.abs().log10().floor() as i32;
+            let grain = 10f64.powi(magnitude - d as i32 + 1);
+            // 1.0001 × tolerance for fp slack at grain boundaries.
+            prop_assert!((r - v).abs() <= grain * 0.50001,
+                "v={} d={} r={} grain={}", v, d, r, grain);
+        }
+
+        #[test]
+        fn sign_symmetric(v in 1e-6f64..1e9, d in 1u8..=8) {
+            prop_assert_eq!(round_to_depth(-v, d), -round_to_depth(v, d));
+        }
+
+        #[test]
+        fn monotone_on_positive(a in 1e-3f64..1e9, b in 1e-3f64..1e9, d in 1u8..=8) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(round_to_depth(lo, d) <= round_to_depth(hi, d));
+        }
+
+        #[test]
+        fn high_depth_is_identity(v in -1e9f64..1e9) {
+            prop_assert_eq!(round_to_depth(v, 17), v);
+        }
+    }
+}

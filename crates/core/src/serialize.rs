@@ -1,0 +1,224 @@
+//! Dictionary persistence.
+//!
+//! The paper's closing argument: "If application execution fingerprints are
+//! sufficiently exclusive, learning new applications is as simple as adding
+//! new keys to the dictionary." That only works if dictionaries survive
+//! across sessions — this module dumps them to JSON (inspectable,
+//! greppable, mergeable) keyed by *metric names* so dumps are portable
+//! across catalog rebuilds.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use efd_telemetry::metric::MetricCatalog;
+use efd_telemetry::{AppLabel, Interval, NodeId};
+
+use crate::dictionary::EfdDictionary;
+use crate::rounding::RoundingDepth;
+
+/// Serializable dictionary snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DictionaryDump {
+    /// Rounding depth the dictionary was built with.
+    pub depth: u8,
+    /// Labels in first-learned order — the tie-break order of the paper's
+    /// "array of application names". Restored before entries so ambiguous
+    /// verdicts order identically.
+    #[serde(default)]
+    pub label_order: Vec<(String, String)>,
+    /// Entries in insertion order.
+    pub entries: Vec<DumpEntry>,
+}
+
+/// One key-value pair of the dump.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DumpEntry {
+    /// Metric name (portable across catalogs).
+    pub metric: String,
+    /// Node id.
+    pub node: u16,
+    /// Interval start second.
+    pub start: u32,
+    /// Interval end second.
+    pub end: u32,
+    /// Rounded mean.
+    pub mean: f64,
+    /// Labels in insertion order, as (app, input).
+    pub labels: Vec<(String, String)>,
+}
+
+/// Errors restoring a dump.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// A dumped metric name is absent from the catalog.
+    UnknownMetric(String),
+    /// JSON decode failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::UnknownMetric(m) => write!(f, "metric {m:?} not in catalog"),
+            RestoreError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Snapshot a dictionary (metric ids resolved to names via `catalog`).
+pub fn dump(dict: &EfdDictionary, catalog: &MetricCatalog) -> DictionaryDump {
+    let entries = dict
+        .entries()
+        .map(|(fp, labels)| DumpEntry {
+            metric: catalog.name(fp.metric).to_string(),
+            node: fp.node.0,
+            start: fp.interval.start,
+            end: fp.interval.end,
+            mean: fp.mean(),
+            labels: labels
+                .iter()
+                .map(|l| (l.app.clone(), l.input.clone()))
+                .collect(),
+        })
+        .collect();
+    DictionaryDump {
+        depth: dict.depth().get(),
+        label_order: dict
+            .labels_in_order()
+            .iter()
+            .map(|l| (l.app.clone(), l.input.clone()))
+            .collect(),
+        entries,
+    }
+}
+
+/// Rebuild a dictionary from a dump. Insertion order (and therefore
+/// tie-break order) is preserved. Means are already rounded; re-rounding
+/// is idempotent.
+pub fn restore(
+    dump: &DictionaryDump,
+    catalog: &MetricCatalog,
+) -> Result<EfdDictionary, RestoreError> {
+    let mut dict = EfdDictionary::new(RoundingDepth::new(dump.depth));
+    let order: Vec<AppLabel> = dump
+        .label_order
+        .iter()
+        .map(|(app, input)| AppLabel::new(app, input))
+        .collect();
+    dict.preregister_labels(&order);
+    for e in &dump.entries {
+        let metric = catalog
+            .id(&e.metric)
+            .ok_or_else(|| RestoreError::UnknownMetric(e.metric.clone()))?;
+        let interval = Interval::new(e.start, e.end);
+        for (app, input) in &e.labels {
+            dict.insert_raw(metric, NodeId(e.node), interval, e.mean, &AppLabel::new(app, input));
+        }
+    }
+    Ok(dict)
+}
+
+/// Dump to pretty JSON.
+pub fn to_json(dict: &EfdDictionary, catalog: &MetricCatalog) -> String {
+    serde_json::to_string_pretty(&dump(dict, catalog)).expect("dump serialization cannot fail")
+}
+
+/// Restore from JSON produced by [`to_json`].
+pub fn from_json(json: &str, catalog: &MetricCatalog) -> Result<EfdDictionary, RestoreError> {
+    let d: DictionaryDump = serde_json::from_str(json).map_err(RestoreError::Json)?;
+    restore(&d, catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::{LabeledObservation, Query};
+    use efd_telemetry::catalog::small_catalog;
+    
+
+    fn sample_dict(c: &MetricCatalog) -> EfdDictionary {
+        let m = c.id("nr_mapped_vmstat").unwrap();
+        let mut d = EfdDictionary::new(RoundingDepth::new(2));
+        for (app, means) in [
+            ("sp", [7617.0, 7520.0, 7520.0, 7121.0]),
+            ("bt", [7638.0, 7540.0, 7540.0, 7140.0]),
+        ] {
+            d.learn(&LabeledObservation {
+                label: AppLabel::new(app, "X"),
+                query: Query::from_node_means(m, Interval::PAPER_DEFAULT, &means),
+            });
+        }
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_recognition_and_order() {
+        let c = small_catalog();
+        let m = c.id("nr_mapped_vmstat").unwrap();
+        let d = sample_dict(&c);
+        let json = to_json(&d, &c);
+        let back = from_json(&json, &c).unwrap();
+
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.depth(), d.depth());
+        // Tie array order (sp first) survives.
+        let q = Query::from_node_means(m, Interval::PAPER_DEFAULT, &[7600.0, 7500.0, 7500.0, 7100.0]);
+        let (a, b) = (d.recognize(&q), back.recognize(&q));
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.best(), Some("sp"));
+    }
+
+    #[test]
+    fn dump_uses_metric_names() {
+        let c = small_catalog();
+        let d = sample_dict(&c);
+        let dmp = dump(&d, &c);
+        assert!(dmp.entries.iter().all(|e| e.metric == "nr_mapped_vmstat"));
+        assert_eq!(dmp.depth, 2);
+        // sp/bt share the collided keys in order.
+        let first = &dmp.entries[0];
+        assert_eq!(
+            first.labels,
+            vec![("sp".to_string(), "X".to_string()), ("bt".to_string(), "X".to_string())]
+        );
+    }
+
+    #[test]
+    fn restore_rejects_unknown_metric() {
+        let c = small_catalog();
+        let d = sample_dict(&c);
+        let mut dmp = dump(&d, &c);
+        dmp.entries[0].metric = "not_a_metric".into();
+        assert!(matches!(
+            restore(&dmp, &c),
+            Err(RestoreError::UnknownMetric(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_learning_after_restore() {
+        // "Learning new applications is as simple as adding new keys."
+        let c = small_catalog();
+        let m = c.id("nr_mapped_vmstat").unwrap();
+        let json = to_json(&sample_dict(&c), &c);
+        let mut back = from_json(&json, &c).unwrap();
+        back.learn(&LabeledObservation {
+            label: AppLabel::new("kripke", "Y"),
+            query: Query::from_node_means(m, Interval::PAPER_DEFAULT, &[8730.0; 4]),
+        });
+        let q = Query::from_node_means(m, Interval::PAPER_DEFAULT, &[8700.0; 4]);
+        assert_eq!(back.recognize(&q).best(), Some("kripke"));
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        let c = small_catalog();
+        assert!(matches!(
+            from_json("{not json", &c),
+            Err(RestoreError::Json(_))
+        ));
+    }
+}

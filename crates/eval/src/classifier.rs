@@ -1,0 +1,300 @@
+//! One interface over both recognition systems.
+//!
+//! The experiments only need two operations — *fit on a training subset*
+//! and *predict an application name (or unknown) for a test run* — so both
+//! the EFD and the Taxonomist baseline implement [`ExecutionClassifier`].
+//!
+//! Both implementations cache their per-run reductions (window means for
+//! the EFD; whole-window feature rows for the baseline) on first use:
+//! the five experiments refit dozens of times on subsets of the same runs,
+//! and telemetry regeneration — not model fitting — would otherwise
+//! dominate. A classifier instance is therefore tied to the dataset it
+//! first saw (asserted).
+
+use std::sync::OnceLock;
+
+use efd_core::observation::{LabeledObservation, Query};
+use efd_core::training::{Efd, EfdConfig};
+use efd_ml::features::FeatureMatrix;
+use efd_ml::metrics::UNKNOWN_LABEL;
+use efd_ml::taxonomist::{Taxonomist, TaxonomistConfig};
+use efd_telemetry::trace::MetricSelection;
+use efd_telemetry::{Interval, MetricId};
+use efd_util::parallel_map;
+use efd_workload::Dataset;
+
+/// A system that learns from labeled runs and predicts application names.
+pub trait ExecutionClassifier {
+    /// Display name for reports.
+    fn name(&self) -> &str;
+
+    /// Learn from the given run indices of `dataset`.
+    fn fit(&mut self, dataset: &Dataset, train_idx: &[usize]);
+
+    /// Predict application names (or [`UNKNOWN_LABEL`]) for test runs.
+    fn predict_batch(&self, dataset: &Dataset, test_idx: &[usize]) -> Vec<String>;
+}
+
+/// The EFD under test: one metric, the `[60:120]` window, auto depth.
+pub struct EfdClassifier {
+    metric: MetricId,
+    interval: Interval,
+    /// Cached per-run node means: `means[run][node]`.
+    means: OnceLock<Vec<Vec<f64>>>,
+    dataset_fingerprint: OnceLock<u64>,
+    model: Option<Efd>,
+    display_name: String,
+}
+
+impl EfdClassifier {
+    /// EFD over `metric` with the paper's `[60:120]` window.
+    pub fn new(metric: MetricId) -> Self {
+        Self::with_interval(metric, Interval::PAPER_DEFAULT)
+    }
+
+    /// EFD over `metric` with a custom window (interval ablations).
+    pub fn with_interval(metric: MetricId, interval: Interval) -> Self {
+        Self {
+            metric,
+            interval,
+            means: OnceLock::new(),
+            dataset_fingerprint: OnceLock::new(),
+            model: None,
+            display_name: "EFD".to_string(),
+        }
+    }
+
+    /// The trained model of the most recent [`ExecutionClassifier::fit`].
+    pub fn model(&self) -> Option<&Efd> {
+        self.model.as_ref()
+    }
+
+    fn means_for(&self, dataset: &Dataset) -> &Vec<Vec<f64>> {
+        let fp = self
+            .dataset_fingerprint
+            .get_or_init(|| dataset.spec().master_seed ^ dataset.len() as u64);
+        assert_eq!(
+            *fp,
+            dataset.spec().master_seed ^ dataset.len() as u64,
+            "classifier reused across datasets"
+        );
+        self.means.get_or_init(|| {
+            let sel = MetricSelection::single(self.metric);
+            dataset
+                .window_means_all(&sel, self.interval)
+                .into_iter()
+                .map(|per_node| per_node.into_iter().map(|m| m[0]).collect())
+                .collect()
+        })
+    }
+
+    fn query_for(&self, dataset: &Dataset, run: usize) -> Query {
+        let means = self.means_for(dataset);
+        Query::from_node_means(self.metric, self.interval, &means[run])
+    }
+}
+
+impl ExecutionClassifier for EfdClassifier {
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+
+    fn fit(&mut self, dataset: &Dataset, train_idx: &[usize]) {
+        let means = self.means_for(dataset);
+        let labels = dataset.labels();
+        let observations: Vec<LabeledObservation> = train_idx
+            .iter()
+            .map(|&i| LabeledObservation {
+                label: labels[i].clone(),
+                query: Query::from_node_means(self.metric, self.interval, &means[i]),
+            })
+            .collect();
+        self.model = Some(Efd::fit(EfdConfig {
+            metrics: vec![self.metric],
+            intervals: vec![self.interval],
+            depth: efd_core::training::DepthPolicy::default(),
+        }, &observations));
+    }
+
+    fn predict_batch(&self, dataset: &Dataset, test_idx: &[usize]) -> Vec<String> {
+        let model = self.model.as_ref().expect("fit() before predict");
+        test_idx
+            .iter()
+            .map(|&i| {
+                let q = self.query_for(dataset, i);
+                model
+                    .recognize(&q)
+                    .best()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| UNKNOWN_LABEL.to_string())
+            })
+            .collect()
+    }
+}
+
+/// The Taxonomist baseline: all catalog metrics × whole-execution features
+/// × random forest with confidence thresholding.
+pub struct TaxonomistClassifier {
+    cfg: TaxonomistConfig,
+    /// Cached node-feature matrix over the whole dataset.
+    features: OnceLock<FeatureMatrix>,
+    model: Option<Taxonomist>,
+    display_name: String,
+}
+
+impl TaxonomistClassifier {
+    /// Baseline with the given configuration.
+    pub fn new(cfg: TaxonomistConfig) -> Self {
+        Self {
+            cfg,
+            features: OnceLock::new(),
+            model: None,
+            display_name: "Taxonomist".to_string(),
+        }
+    }
+
+    fn features_for(&self, dataset: &Dataset) -> &FeatureMatrix {
+        self.features.get_or_init(|| {
+            let selection = MetricSelection::new(dataset.catalog().ids().collect());
+            let idx: Vec<usize> = (0..dataset.len()).collect();
+            // Extract per-run in parallel (each run materializes its own
+            // trace and drops it immediately), then merge.
+            let parts = parallel_map(&idx, |&i| {
+                let trace = dataset.materialize(i, &selection);
+                let mut fm = FeatureMatrix::default();
+                fm.push_trace(&trace, i, None);
+                fm
+            });
+            let mut merged = FeatureMatrix::default();
+            for p in parts {
+                merged.rows.extend(p.rows);
+                merged.labels.extend(p.labels);
+                merged.exec_of_row.extend(p.exec_of_row);
+            }
+            merged
+        })
+    }
+}
+
+impl ExecutionClassifier for TaxonomistClassifier {
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+
+    fn fit(&mut self, dataset: &Dataset, train_idx: &[usize]) {
+        let all = self.features_for(dataset);
+        let train_set: efd_util::FxHashSet<usize> = train_idx.iter().copied().collect();
+        let mut subset = FeatureMatrix::default();
+        for (row, (label, &exec)) in all
+            .rows
+            .iter()
+            .zip(all.labels.iter().zip(&all.exec_of_row))
+        {
+            if train_set.contains(&exec) {
+                subset.rows.push(row.clone());
+                subset.labels.push(label.clone());
+                subset.exec_of_row.push(exec);
+            }
+        }
+        self.model = Some(Taxonomist::fit(self.cfg, &subset));
+    }
+
+    fn predict_batch(&self, dataset: &Dataset, test_idx: &[usize]) -> Vec<String> {
+        let model = self.model.as_ref().expect("fit() before predict");
+        let all = self.features_for(dataset);
+        test_idx
+            .iter()
+            .map(|&i| {
+                let rows: Vec<Vec<f64>> = all
+                    .rows_of_exec(i)
+                    .into_iter()
+                    .map(|r| all.rows[r].clone())
+                    .collect();
+                model.predict_execution(&rows)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efd_telemetry::catalog::small_catalog;
+    use efd_workload::{DatasetSpec, SubsetKind};
+
+    fn tiny_dataset() -> Dataset {
+        // Public subset but with the 9-metric catalog: fast.
+        let spec = DatasetSpec {
+            subset: SubsetKind::Public,
+            ..DatasetSpec::default()
+        };
+        Dataset::with_catalog(spec, small_catalog())
+    }
+
+    #[test]
+    fn efd_classifier_end_to_end() {
+        let d = tiny_dataset();
+        let metric = d.catalog().id("nr_mapped_vmstat").unwrap();
+        let mut c = EfdClassifier::new(metric);
+        let train: Vec<usize> = (0..d.len()).filter(|i| i % 5 != 0).collect();
+        let test: Vec<usize> = (0..d.len()).filter(|i| i % 5 == 0).collect();
+        c.fit(&d, &train);
+        let preds = c.predict_batch(&d, &test);
+        let labels = d.labels();
+        let correct = test
+            .iter()
+            .zip(&preds)
+            .filter(|(&i, p)| &labels[i].app == *p)
+            .count();
+        assert!(
+            correct as f64 / test.len() as f64 > 0.9,
+            "EFD accuracy {}/{}",
+            correct,
+            test.len()
+        );
+    }
+
+    #[test]
+    fn taxonomist_classifier_end_to_end() {
+        let d = tiny_dataset();
+        let mut c = TaxonomistClassifier::new(TaxonomistConfig {
+            n_trees: 10,
+            ..Default::default()
+        });
+        let train: Vec<usize> = (0..d.len()).filter(|i| i % 5 != 0).collect();
+        let test: Vec<usize> = (0..d.len()).filter(|i| i % 5 == 0).collect();
+        c.fit(&d, &train);
+        let preds = c.predict_batch(&d, &test);
+        let labels = d.labels();
+        let correct = test
+            .iter()
+            .zip(&preds)
+            .filter(|(&i, p)| &labels[i].app == *p)
+            .count();
+        assert!(
+            correct as f64 / test.len() as f64 > 0.8,
+            "baseline accuracy {}/{}",
+            correct,
+            test.len()
+        );
+    }
+
+    #[test]
+    fn efd_unknown_for_unseen_app() {
+        let d = tiny_dataset();
+        let metric = d.catalog().id("nr_mapped_vmstat").unwrap();
+        let mut c = EfdClassifier::new(metric);
+        let labels = d.labels();
+        // Train without kripke.
+        let train: Vec<usize> = (0..d.len()).filter(|&i| labels[i].app != "kripke").collect();
+        let kripke: Vec<usize> = (0..d.len()).filter(|&i| labels[i].app == "kripke").collect();
+        c.fit(&d, &train);
+        let preds = c.predict_batch(&d, &kripke);
+        let unknown = preds.iter().filter(|p| *p == UNKNOWN_LABEL).count();
+        assert!(
+            unknown as f64 / preds.len() as f64 > 0.7,
+            "only {unknown}/{} kripke runs flagged unknown",
+            preds.len()
+        );
+    }
+}

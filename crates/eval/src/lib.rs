@@ -1,0 +1,26 @@
+//! Evaluation harness: the paper's five experiments, per-metric screening,
+//! and paper-vs-measured reporting.
+//!
+//! * [`classifier`] — one trait over both systems (EFD and the Taxonomist
+//!   baseline) so every experiment runs them identically, plus feature /
+//!   window-mean caches so repeated fits don't regenerate telemetry.
+//! * [`experiments`] — normal fold, soft/hard input, soft/hard unknown
+//!   (paper §4), scored with scikit-learn-compatible macro F1.
+//! * [`screening`] — per-metric normal-fold F-scores (paper Table 3).
+//! * [`paper`] — the paper's reported numbers (digitized from Figure 2 /
+//!   copied from Table 3) for side-by-side comparison.
+//! * [`report`] — renders Tables 1–4 and Figure 2 as text/markdown, and
+//!   generates EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod classifier;
+pub mod experiments;
+pub mod paper;
+pub mod report;
+pub mod screening;
+
+pub use classifier::{EfdClassifier, ExecutionClassifier, TaxonomistClassifier};
+pub use experiments::{run_experiment, EvalOptions, ExperimentKind, ExperimentResult};
+pub use screening::{screen_metrics, MetricScore};

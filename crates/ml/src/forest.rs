@@ -1,0 +1,232 @@
+//! Bagged random forests (the Taxonomist's reported best classifier).
+//!
+//! Standard Breiman recipe: `n_trees` CART trees, each on a bootstrap
+//! sample with √width feature subsampling per split, probabilities
+//! averaged. Training parallelizes over trees via
+//! [`efd_util::parallel_map`] with per-tree derived seeds, so results are
+//! identical regardless of thread count.
+
+use efd_util::parallel_map;
+use efd_util::rng::{derive_seed, SplitMix64};
+
+use crate::tree::{DecisionTree, TreeParams};
+use crate::Classifier;
+
+/// Forest parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters; `max_features: None` here means √width.
+    pub tree: TreeParams,
+    /// Master seed (trees derive their own).
+    pub seed: u64,
+    /// Draw bootstrap samples (true) or train every tree on all rows.
+    pub bootstrap: bool,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            tree: TreeParams::default(),
+            seed: 0,
+            bootstrap: true,
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Train the forest (parallel over trees).
+    pub fn fit(params: RandomForestParams, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Self {
+        assert!(params.n_trees >= 1);
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let width = x[0].len();
+        // Breiman default: sqrt(d) features per split.
+        let max_features = params
+            .tree
+            .max_features
+            .unwrap_or_else(|| (width as f64).sqrt().ceil() as usize)
+            .clamp(1, width);
+
+        let tree_ids: Vec<usize> = (0..params.n_trees).collect();
+        let trees = parallel_map(&tree_ids, |&t| {
+            let seed = derive_seed(params.seed, &[t as u64, 0xF0_4E57]);
+            let indices: Vec<usize> = if params.bootstrap {
+                let mut rng = SplitMix64::new(seed);
+                (0..x.len())
+                    .map(|_| rng.next_below(x.len() as u64) as usize)
+                    .collect()
+            } else {
+                (0..x.len()).collect()
+            };
+            let tp = TreeParams {
+                max_features: Some(max_features),
+                seed: derive_seed(seed, &[1]),
+                ..params.tree
+            };
+            DecisionTree::fit_on(tp, x, y, n_classes, indices)
+        });
+        Self { trees, n_classes }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_classes];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict_proba(row)) {
+                *a += p;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efd_util::rng::SplitMix64;
+
+    fn blobs(n_per: usize, seed: u64, spread: f64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [(0.0, 0.0, 5.0), (6.0, 0.0, -5.0), (0.0, 6.0, 0.0)];
+        let mut rng = SplitMix64::new(seed);
+        let (mut x, mut y) = (Vec::new(), Vec::new());
+        for (c, &(cx, cy, cz)) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                x.push(vec![
+                    cx + rng.next_gaussian() * spread,
+                    cy + rng.next_gaussian() * spread,
+                    cz + rng.next_gaussian() * spread,
+                ]);
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_beats_chance_on_noisy_blobs() {
+        let (x, y) = blobs(60, 1, 2.0);
+        let forest = RandomForest::fit(
+            RandomForestParams {
+                n_trees: 30,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            3,
+        );
+        let (xt, yt) = blobs(40, 2, 2.0);
+        let acc = xt
+            .iter()
+            .zip(&yt)
+            .filter(|(xi, &yi)| forest.predict(xi) == yi)
+            .count() as f64
+            / xt.len() as f64;
+        assert!(acc > 0.85, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_is_a_distribution() {
+        let (x, y) = blobs(20, 3, 1.0);
+        let forest = RandomForest::fit(
+            RandomForestParams {
+                n_trees: 10,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            3,
+        );
+        let p = forest.predict_proba(&x[0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_regardless_of_threads() {
+        let (x, y) = blobs(30, 4, 1.5);
+        let params = RandomForestParams {
+            n_trees: 16,
+            seed: 99,
+            ..Default::default()
+        };
+        let a = RandomForest::fit(params, &x, &y, 3);
+        // Force single-threaded training for the second fit.
+        std::env::set_var("EFD_THREADS", "1");
+        let b = RandomForest::fit(params, &x, &y, 3);
+        std::env::remove_var("EFD_THREADS");
+        for xi in &x {
+            assert_eq!(a.predict_proba(xi), b.predict_proba(xi));
+        }
+    }
+
+    #[test]
+    fn confidence_reflects_ambiguity() {
+        let (x, y) = blobs(60, 5, 1.0);
+        let forest = RandomForest::fit(
+            RandomForestParams {
+                n_trees: 40,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            3,
+        );
+        // Deep inside blob 0: highly confident.
+        let p_in = forest.predict_proba(&[0.0, 0.0, 5.0]);
+        assert!(p_in[0] > 0.9, "{p_in:?}");
+        // Far outside every blob: the forest extrapolates to *some* leaf —
+        // but between two blob centers confidence must drop.
+        let p_mid = forest.predict_proba(&[3.0, 0.0, 0.0]);
+        let max_mid = p_mid.iter().cloned().fold(0.0, f64::max);
+        assert!(max_mid < 0.95, "{p_mid:?}");
+    }
+
+    #[test]
+    fn no_bootstrap_mode() {
+        let (x, y) = blobs(20, 6, 0.5);
+        let forest = RandomForest::fit(
+            RandomForestParams {
+                n_trees: 5,
+                bootstrap: false,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            3,
+        );
+        assert_eq!(forest.n_trees(), 5);
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| forest.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.95);
+    }
+}

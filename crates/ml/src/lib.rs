@@ -1,0 +1,58 @@
+//! From-scratch ML baseline (Taxonomist-style) and classification metrics.
+//!
+//! The paper compares the EFD against **Taxonomist** (Ates et al.,
+//! Euro-Par 2018): statistical features over *all* 562 metrics and the
+//! *whole* execution window, fed to supervised classifiers, with a
+//! confidence threshold for unknown-application detection. No ML crate in
+//! our vetted set provides this, so it is built here from scratch:
+//!
+//! * [`metrics`] — confusion matrix, precision/recall/F1 (macro / micro /
+//!   weighted, scikit-learn `zero_division=0` semantics). These implement
+//!   the F-scores of the paper's Figure 2 and Table 3.
+//! * [`features`] — streaming statistical feature extraction (11 stats per
+//!   metric per node) and z-score scaling.
+//! * [`tree`] — CART decision trees (Gini), with optional random-threshold
+//!   ("extra trees") splitting.
+//! * [`forest`] — bagged random forests with parallel training.
+//! * [`knn`] — brute-force k-nearest-neighbors.
+//! * [`naive_bayes`] — Gaussian naive Bayes.
+//! * [`taxonomist`] — the assembled baseline: per-node classification with
+//!   confidence thresholding, aggregated to per-execution verdicts.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod features;
+pub mod forest;
+pub mod knn;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod taxonomist;
+pub mod tree;
+
+pub use features::{FeatureMatrix, Scaler, STAT_NAMES};
+pub use forest::{RandomForest, RandomForestParams};
+pub use knn::KNearestNeighbors;
+pub use metrics::{evaluate, ClassificationReport, UNKNOWN_LABEL};
+pub use naive_bayes::GaussianNb;
+pub use taxonomist::{Taxonomist, TaxonomistConfig};
+pub use tree::{DecisionTree, TreeParams};
+
+/// A trained multi-class classifier over dense f64 feature rows.
+pub trait Classifier {
+    /// Class-probability estimates for one row (sums to 1 unless the model
+    /// is degenerate).
+    fn predict_proba(&self, row: &[f64]) -> Vec<f64>;
+
+    /// Hard prediction: argmax of probabilities (lowest index wins ties).
+    fn predict(&self, row: &[f64]) -> usize {
+        let p = self.predict_proba(row);
+        let mut best = 0usize;
+        for i in 1..p.len() {
+            if p[i] > p[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for classification metrics and models.
+
+use proptest::prelude::*;
+
+use efd_ml::metrics::evaluate;
+use efd_ml::tree::{DecisionTree, TreeParams};
+use efd_ml::Classifier;
+
+fn arb_labels() -> impl Strategy<Value = (Vec<String>, Vec<String>)> {
+    let class = prop::sample::select(vec!["a", "b", "c", "unknown"]);
+    prop::collection::vec((class.clone(), class), 1..100).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(t, p)| (t.to_string(), p.to_string()))
+            .unzip()
+    })
+}
+
+proptest! {
+    /// All scores live in [0, 1]; accuracy equals micro F1.
+    #[test]
+    fn scores_bounded((truth, pred) in arb_labels()) {
+        let r = evaluate(&truth, &pred);
+        for x in [r.macro_f1(), r.macro_f1_present(), r.weighted_f1(), r.accuracy] {
+            prop_assert!((0.0..=1.0).contains(&x), "{x}");
+        }
+        prop_assert_eq!(r.micro_f1(), r.accuracy);
+        for c in 0..r.classes.len() {
+            prop_assert!((0.0..=1.0).contains(&r.precision[c]));
+            prop_assert!((0.0..=1.0).contains(&r.recall[c]));
+            prop_assert!((0.0..=1.0).contains(&r.f1[c]));
+        }
+    }
+
+    /// Perfect predictions score 1.0 everywhere.
+    #[test]
+    fn perfect_is_one(truth in prop::collection::vec("[abc]", 1..50)) {
+        let r = evaluate(&truth, &truth);
+        prop_assert_eq!(r.accuracy, 1.0);
+        prop_assert_eq!(r.macro_f1(), 1.0);
+        prop_assert_eq!(r.macro_f1_present(), 1.0);
+        prop_assert_eq!(r.weighted_f1(), 1.0);
+    }
+
+    /// Evaluation is invariant to sample order.
+    #[test]
+    fn order_invariant((truth, pred) in arb_labels(), seed in any::<u64>()) {
+        let r1 = evaluate(&truth, &pred);
+        // Deterministic shuffle.
+        let mut idx: Vec<usize> = (0..truth.len()).collect();
+        let mut rng = efd_util::SplitMix64::new(seed);
+        for i in (1..idx.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            idx.swap(i, j);
+        }
+        let truth2: Vec<String> = idx.iter().map(|&i| truth[i].clone()).collect();
+        let pred2: Vec<String> = idx.iter().map(|&i| pred[i].clone()).collect();
+        let r2 = evaluate(&truth2, &pred2);
+        prop_assert_eq!(r1.accuracy, r2.accuracy);
+        prop_assert!((r1.macro_f1() - r2.macro_f1()).abs() < 1e-12);
+        prop_assert!((r1.weighted_f1() - r2.weighted_f1()).abs() < 1e-12);
+    }
+
+    /// Confusion-matrix row sums equal class supports; total equals n.
+    #[test]
+    fn confusion_sums((truth, pred) in arb_labels()) {
+        let r = evaluate(&truth, &pred);
+        let total: usize = r.confusion.iter().flatten().sum();
+        prop_assert_eq!(total, truth.len());
+        for (row, &support) in r.confusion.iter().zip(&r.support) {
+            prop_assert_eq!(row.iter().sum::<usize>(), support);
+        }
+    }
+
+    /// macro over present classes ≥ macro over the union (predicted-only
+    /// classes can only drag the union average down).
+    #[test]
+    fn present_macro_dominates_union((truth, pred) in arb_labels()) {
+        let r = evaluate(&truth, &pred);
+        prop_assert!(r.macro_f1_present() >= r.macro_f1() - 1e-12);
+    }
+
+    /// A tree trained on data predicts in-range class indices with a
+    /// proper probability distribution.
+    #[test]
+    fn tree_probabilities_are_distributions(
+        rows in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 3..=3), 4..60),
+        seed in any::<u64>(),
+    ) {
+        let y: Vec<usize> = rows.iter().map(|r| (r[0] > 0.0) as usize).collect();
+        prop_assume!(y.iter().any(|&c| c == 0) && y.iter().any(|&c| c == 1));
+        let tree = DecisionTree::fit(
+            TreeParams { seed, ..TreeParams::default() },
+            &rows,
+            &y,
+            2,
+        );
+        for row in &rows {
+            let p = tree.predict_proba(row);
+            prop_assert_eq!(p.len(), 2);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(tree.predict(row) < 2);
+        }
+    }
+
+    /// Trees are deterministic functions of (data, params).
+    #[test]
+    fn tree_deterministic(
+        rows in prop::collection::vec(
+            prop::collection::vec(-10.0f64..10.0, 2..=2), 6..30),
+        seed in any::<u64>(),
+    ) {
+        let y: Vec<usize> = rows.iter().map(|r| (r[1] > 0.0) as usize).collect();
+        let params = TreeParams { max_features: Some(1), seed, ..TreeParams::default() };
+        let a = DecisionTree::fit(params, &rows, &y, 2);
+        let b = DecisionTree::fit(params, &rows, &y, 2);
+        for row in &rows {
+            prop_assert_eq!(a.predict(row), b.predict(row));
+        }
+    }
+}

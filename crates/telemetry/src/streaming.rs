@@ -1,0 +1,202 @@
+//! Online window aggregation for during-execution recognition.
+//!
+//! The paper's motivation is *low-latency* recognition: the EFD answers
+//! within the first two minutes, while related work waits for the whole
+//! execution. This module provides the streaming half of that story: feed
+//! samples as they arrive, and the aggregator emits a window summary the
+//! moment the fingerprinting interval closes — no buffering of raw series.
+
+use efd_util::stats::OnlineStats;
+
+use crate::interval::Interval;
+
+/// Summary of a closed window: what a fingerprint is built from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSummary {
+    /// The window that closed.
+    pub interval: Interval,
+    /// Statistics over samples that landed inside the window.
+    pub stats: OnlineStats,
+}
+
+impl WindowSummary {
+    /// Mean over the window (the EFD's statistical feature).
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+}
+
+/// Accumulates samples for one `(node, metric)` stream against a single
+/// window; emits the summary exactly once, when the first sample at or past
+/// the window end arrives (or on [`WindowAggregator::finish`]).
+#[derive(Debug, Clone)]
+pub struct WindowAggregator {
+    interval: Interval,
+    stats: OnlineStats,
+    emitted: bool,
+}
+
+impl WindowAggregator {
+    /// Aggregator for `interval`.
+    pub fn new(interval: Interval) -> Self {
+        Self {
+            interval,
+            stats: OnlineStats::new(),
+            emitted: false,
+        }
+    }
+
+    /// The window being aggregated.
+    pub fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    /// Whether the summary has been emitted.
+    pub fn is_done(&self) -> bool {
+        self.emitted
+    }
+
+    /// Feed one sample at second `t` (monotone non-decreasing). Returns the
+    /// summary when the window closes.
+    pub fn push(&mut self, t: u32, value: f64) -> Option<WindowSummary> {
+        if self.emitted {
+            return None;
+        }
+        if t >= self.interval.end {
+            self.emitted = true;
+            return Some(WindowSummary {
+                interval: self.interval,
+                stats: self.stats,
+            });
+        }
+        if self.interval.contains(t) && value.is_finite() {
+            self.stats.push(value);
+        }
+        None
+    }
+
+    /// Flush the summary for a stream that ended before the window closed
+    /// (e.g. the job finished early). Returns None if already emitted.
+    pub fn finish(&mut self) -> Option<WindowSummary> {
+        if self.emitted {
+            return None;
+        }
+        self.emitted = true;
+        Some(WindowSummary {
+            interval: self.interval,
+            stats: self.stats,
+        })
+    }
+}
+
+/// Aggregates one stream against a whole tiling of windows (the paper's
+/// future-work "multiple time intervals"), emitting each summary as its
+/// window closes.
+#[derive(Debug, Clone)]
+pub struct MultiWindowAggregator {
+    windows: Vec<WindowAggregator>,
+}
+
+impl MultiWindowAggregator {
+    /// Aggregator over the given windows (need not be disjoint).
+    pub fn new(intervals: Vec<Interval>) -> Self {
+        Self {
+            windows: intervals.into_iter().map(WindowAggregator::new).collect(),
+        }
+    }
+
+    /// Feed one sample; returns every summary whose window just closed.
+    pub fn push(&mut self, t: u32, value: f64) -> Vec<WindowSummary> {
+        self.windows
+            .iter_mut()
+            .filter_map(|w| w.push(t, value))
+            .collect()
+    }
+
+    /// Flush all still-open windows.
+    pub fn finish(&mut self) -> Vec<WindowSummary> {
+        self.windows.iter_mut().filter_map(|w| w.finish()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_exactly_once_when_window_closes() {
+        let mut agg = WindowAggregator::new(Interval::new(60, 120));
+        for t in 0..120 {
+            assert!(agg.push(t, t as f64).is_none(), "early emit at {t}");
+        }
+        let s = agg.push(120, 0.0).expect("summary at window close");
+        assert_eq!(s.stats.count(), 60);
+        assert!((s.mean() - 89.5).abs() < 1e-12);
+        assert!(agg.push(121, 0.0).is_none());
+        assert!(agg.finish().is_none());
+    }
+
+    #[test]
+    fn pre_window_samples_ignored() {
+        let mut agg = WindowAggregator::new(Interval::new(60, 120));
+        for t in 0..60 {
+            agg.push(t, 1e9);
+        }
+        for t in 60..120 {
+            agg.push(t, 5.0);
+        }
+        let s = agg.push(120, 0.0).unwrap();
+        assert_eq!(s.mean(), 5.0);
+    }
+
+    #[test]
+    fn nan_samples_skipped() {
+        let mut agg = WindowAggregator::new(Interval::new(0, 4));
+        agg.push(0, 1.0);
+        agg.push(1, f64::NAN);
+        agg.push(2, 3.0);
+        agg.push(3, f64::NAN);
+        let s = agg.push(4, 0.0).unwrap();
+        assert_eq!(s.stats.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn finish_flushes_partial_window() {
+        let mut agg = WindowAggregator::new(Interval::new(60, 120));
+        for t in 60..90 {
+            agg.push(t, 2.0);
+        }
+        let s = agg.finish().unwrap();
+        assert_eq!(s.stats.count(), 30);
+        assert_eq!(s.mean(), 2.0);
+        assert!(agg.finish().is_none());
+    }
+
+    #[test]
+    fn multi_window_tiling() {
+        let mut agg = MultiWindowAggregator::new(Interval::tiling(60, 180));
+        let mut emitted = Vec::new();
+        for t in 0..=180 {
+            emitted.extend(agg.push(t, 1.0));
+        }
+        assert_eq!(emitted.len(), 3);
+        assert_eq!(emitted[0].interval, Interval::new(0, 60));
+        assert_eq!(emitted[2].interval, Interval::new(120, 180));
+        assert!(agg.finish().is_empty());
+    }
+
+    #[test]
+    fn multi_window_finish_flushes_open_windows() {
+        let mut agg = MultiWindowAggregator::new(Interval::tiling(60, 300));
+        for t in 0..150 {
+            agg.push(t, 1.0);
+        }
+        // windows [0:60] and [60:120] already closed; [120:180] onward open.
+        let rest = agg.finish();
+        assert_eq!(rest.len(), 3);
+        assert_eq!(rest[0].stats.count(), 30); // [120:180] got 30 samples
+        assert_eq!(rest[1].stats.count(), 0);
+        assert_eq!(rest[2].stats.count(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Fast, non-cryptographic hashing (FxHash algorithm).
+//!
+//! The EFD's hot path is hash-map lookups keyed by small fixed-size
+//! fingerprints (metric id, node id, interval id, rounded-mean bits). The
+//! standard library's SipHash is DoS-resistant but slow for such keys; the
+//! multiply-xor "Fx" scheme used inside rustc is a much better fit and is
+//! re-implemented here (the `rustc-hash` crate is not part of our vetted
+//! dependency set).
+//!
+//! Not suitable for adversarial inputs — fine for telemetry workloads.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash (64-bit golden
+/// ratio variant).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic [`Hasher`] (FxHash).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            // unwrap: chunks_exact guarantees 8 bytes.
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64` to a well-mixed `u64` (one-shot convenience).
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+/// Hash a byte slice to a `u64` (one-shot convenience).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_eq!(hash_bytes(b"nr_mapped_vmstat"), hash_bytes(b"nr_mapped_vmstat"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_u64(1), hash_u64(2));
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"b"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn remainder_lengths_do_not_collide_with_zero_padding() {
+        // b"ab" padded to 8 bytes must hash differently from b"ab\0...\0".
+        let a = hash_bytes(b"ab");
+        let b = hash_bytes(b"ab\0\0\0\0\0\0");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&999));
+        assert!(!m.contains_key(&1000));
+    }
+
+    #[test]
+    fn reasonable_distribution() {
+        // Low-entropy sequential keys should still spread across buckets:
+        // count distinct top-8-bit patterns over 4096 sequential hashes.
+        let mut seen = FxHashSet::default();
+        for i in 0..4096u64 {
+            seen.insert(hash_u64(i) >> 56);
+        }
+        assert!(seen.len() > 200, "only {} distinct high bytes", seen.len());
+    }
+}

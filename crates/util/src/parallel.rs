@@ -1,0 +1,194 @@
+//! Scoped-thread data parallelism.
+//!
+//! A tiny, predictable alternative to a global thread pool: [`parallel_map`]
+//! spawns scoped workers (crossbeam), pulls indices off a shared atomic
+//! counter (dynamic load balancing — metric screening has wildly uneven
+//! per-item cost), and scatters results back *in input order*, so callers
+//! get deterministic output regardless of scheduling.
+//!
+//! Thread count resolution: `EFD_THREADS` env var if set, else
+//! `std::thread::available_parallelism()`, always clamped to the item count.
+//! Workloads of one item (or one thread) run inline with zero spawn cost.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Number of worker threads to use for `n_items` work items.
+///
+/// Honors the `EFD_THREADS` environment variable (values `< 1` are treated
+/// as 1); otherwise uses the machine's available parallelism.
+pub fn num_threads(n_items: usize) -> usize {
+    let hw = std::env::var("EFD_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    hw.min(n_items).max(1)
+}
+
+/// Map `f` over `items` in parallel, returning results in input order.
+///
+/// `f` runs on scoped worker threads; panics in `f` propagate to the caller.
+///
+/// ```
+/// let squares = efd_util::parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_init(items, || (), |(), item| f(item))
+}
+
+/// Like [`parallel_map`], but with per-thread mutable state created by
+/// `init` (e.g. a scratch buffer or a thread-local RNG).
+///
+/// Note: which items share a state instance depends on scheduling; for
+/// reproducible stochastic work, derive per-item seeds instead of relying
+/// on state (see `efd_util::rng::derive_seed`).
+pub fn parallel_map_init<T, U, S, I, F>(items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = num_threads(n);
+    if workers == 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    // Each worker buffers (index, result) locally, then scatters under a
+    // short-lived lock; results end up in input order.
+    let out: Mutex<Vec<Option<U>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let mut state = init();
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&mut state, &items[i])));
+                }
+                let mut guard = out.lock();
+                for (i, v) in local {
+                    guard[i] = Some(v);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    out.into_inner()
+        .into_iter()
+        .map(|v| v.expect("all indices filled"))
+        .collect()
+}
+
+/// Run `f` over `items` in parallel for side effects only.
+pub fn parallel_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    let _ = parallel_map(items, |item| {
+        f(item);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still produce ordered output.
+        let items: Vec<u64> = (0..200).collect();
+        let out = parallel_map(&items, |&x| {
+            let spins = if x % 17 == 0 { 20_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let counter = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=1000).collect();
+        parallel_for_each(&items, |&x| {
+            counter.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500_500);
+    }
+
+    #[test]
+    fn map_init_state_reused_within_thread() {
+        // The state is a push counter; the sum over all threads must equal
+        // the item count even though the per-thread split is nondeterministic.
+        let items: Vec<u32> = (0..512).collect();
+        let out = parallel_map_init(
+            &items,
+            || 0u32,
+            |calls, &x| {
+                *calls += 1;
+                (x, *calls)
+            },
+        );
+        assert_eq!(out.len(), 512);
+        for (i, (x, calls)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+            assert!(*calls >= 1);
+        }
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = parallel_map(&[7u8], |&x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn num_threads_respects_item_count() {
+        assert_eq!(num_threads(0), 1);
+        assert_eq!(num_threads(1), 1);
+        assert!(num_threads(1_000_000) >= 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Generic stratified k-fold partitioning.
+//!
+//! Used by `efd-workload` for the paper's 5-fold "normal fold" experiment
+//! and by `efd-core` for the inner cross-validation that selects the
+//! rounding depth. Stratification key is generic: any `Ord + Hash` label.
+
+use std::hash::Hash;
+
+use crate::hash::FxHashMap;
+use crate::rng::SplitMix64;
+
+/// One train/test partition of item indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldIndices {
+    /// Indices used for learning.
+    pub train: Vec<usize>,
+    /// Indices used for testing.
+    pub test: Vec<usize>,
+}
+
+/// Stratified k-fold: within every key group, items are shuffled (seeded
+/// Fisher–Yates) and dealt round-robin to folds, so each fold's test set
+/// holds ≈ `group/k` items of every key. Folds are disjoint, cover all
+/// indices, and are deterministic per seed.
+pub fn stratified_k_fold_by<K: Ord + Hash + Clone>(
+    keys: &[K],
+    k: usize,
+    seed: u64,
+) -> Vec<FoldIndices> {
+    assert!(k >= 2, "need at least 2 folds, got {k}");
+    let mut groups: FxHashMap<&K, Vec<usize>> = FxHashMap::default();
+    for (i, key) in keys.iter().enumerate() {
+        groups.entry(key).or_default().push(i);
+    }
+    // Deterministic iteration order.
+    let mut groups: Vec<(&K, Vec<usize>)> = groups.into_iter().collect();
+    groups.sort_by(|a, b| a.0.cmp(b.0));
+
+    let mut rng = SplitMix64::new(seed);
+    let mut test_sets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (_, mut idx) in groups {
+        for i in (1..idx.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            idx.swap(i, j);
+        }
+        for (pos, item) in idx.into_iter().enumerate() {
+            test_sets[pos % k].push(item);
+        }
+    }
+
+    (0..k)
+        .map(|f| {
+            let mut test = test_sets[f].clone();
+            test.sort_unstable();
+            let mut train: Vec<usize> = (0..k)
+                .filter(|&g| g != f)
+                .flat_map(|g| test_sets[g].iter().copied())
+                .collect();
+            train.sort_unstable();
+            FoldIndices { train, test }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_cover_stratified() {
+        let keys: Vec<u32> = (0..4).flat_map(|g| std::iter::repeat_n(g, 10)).collect();
+        let folds = stratified_k_fold_by(&keys, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![false; keys.len()];
+        for f in &folds {
+            assert_eq!(f.test.len(), 8); // 4 groups × 2 each
+            for &i in &f.test {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+            // Per-group counts equal.
+            for g in 0..4u32 {
+                let c = f.test.iter().filter(|&&i| keys[i] == g).count();
+                assert_eq!(c, 2);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let keys: Vec<&str> = ["a", "b"].repeat(20);
+        assert_eq!(
+            stratified_k_fold_by(&keys, 4, 9),
+            stratified_k_fold_by(&keys, 4, 9)
+        );
+        assert_ne!(
+            stratified_k_fold_by(&keys, 4, 9),
+            stratified_k_fold_by(&keys, 4, 10)
+        );
+    }
+
+    #[test]
+    fn small_groups_spread_across_folds() {
+        // A group smaller than k: each of its items lands in a distinct fold.
+        let keys: Vec<u8> = vec![1, 1, 1, 2, 2, 2, 2, 2];
+        let folds = stratified_k_fold_by(&keys, 5, 0);
+        let ones_per_fold: Vec<usize> = folds
+            .iter()
+            .map(|f| f.test.iter().filter(|&&i| keys[i] == 1).count())
+            .collect();
+        assert!(ones_per_fold.iter().all(|&c| c <= 1));
+        assert_eq!(ones_per_fold.iter().sum::<usize>(), 3);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the utility primitives.
+
+use proptest::prelude::*;
+
+use efd_util::split::stratified_k_fold_by;
+use efd_util::stats::{percentile, OnlineStats, P2Quantile};
+use efd_util::{derive_seed, SplitMix64};
+
+proptest! {
+    /// Merging any partition of a sample equals processing it whole.
+    #[test]
+    fn online_stats_merge_associative(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..300),
+        cut1 in 0usize..300,
+        cut2 in 0usize..300,
+    ) {
+        let a = cut1.min(xs.len());
+        let b = cut2.clamp(a, xs.len());
+
+        let mut whole = OnlineStats::new();
+        whole.extend(&xs);
+
+        let (mut s1, mut s2, mut s3) = (OnlineStats::new(), OnlineStats::new(), OnlineStats::new());
+        s1.extend(&xs[..a]);
+        s2.extend(&xs[a..b]);
+        s3.extend(&xs[b..]);
+        s1.merge(&s2);
+        s1.merge(&s3);
+
+        prop_assert_eq!(s1.count(), whole.count());
+        prop_assert!((s1.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!((s1.variance() - whole.variance()).abs()
+            <= 1e-5 * whole.variance().abs().max(1.0));
+        prop_assert_eq!(s1.min(), whole.min());
+        prop_assert_eq!(s1.max(), whole.max());
+    }
+
+    /// Online stats are invariant to shifting (variance & shape moments).
+    #[test]
+    fn online_stats_shift_invariant_spread(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..200),
+        shift in -1e5f64..1e5,
+    ) {
+        let mut a = OnlineStats::new();
+        a.extend(&xs);
+        let mut b = OnlineStats::new();
+        b.extend(&xs.iter().map(|x| x + shift).collect::<Vec<_>>());
+        prop_assert!((a.variance() - b.variance()).abs() <= 1e-6 * a.variance().max(1.0));
+        prop_assert!((a.mean() + shift - b.mean()).abs() <= 1e-6 * b.mean().abs().max(1.0));
+    }
+
+    /// P² stays inside the observed range and is monotone in p.
+    #[test]
+    fn p2_within_range_and_monotone(
+        xs in prop::collection::vec(-1e4f64..1e4, 20..500),
+    ) {
+        let (lo, hi) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), &x| (lo.min(x), hi.max(x)));
+        let mut estimates = Vec::new();
+        for p in [0.1, 0.5, 0.9] {
+            let mut q = P2Quantile::new(p);
+            for &x in &xs {
+                q.push(x);
+            }
+            let e = q.estimate();
+            prop_assert!(e >= lo && e <= hi, "estimate {e} outside [{lo}, {hi}]");
+            estimates.push(e);
+        }
+        prop_assert!(estimates[0] <= estimates[1] + 1e-9);
+        prop_assert!(estimates[1] <= estimates[2] + 1e-9);
+    }
+
+    /// Exact percentile is monotone in q and clamped to the data range.
+    #[test]
+    fn percentile_monotone(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-9);
+        prop_assert!(percentile(&xs, 0.0) >= xs[0] - 1e-9);
+        prop_assert!(percentile(&xs, 1.0) <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    /// Stratified k-fold always partitions: disjoint test sets covering
+    /// all indices, train = complement.
+    #[test]
+    fn k_fold_is_a_partition(
+        keys in prop::collection::vec(0u8..6, 4..200),
+        k in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let folds = stratified_k_fold_by(&keys, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![false; keys.len()];
+        for f in &folds {
+            for &i in &f.test {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+            let mut all: Vec<usize> = f.train.iter().chain(&f.test).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..keys.len()).collect::<Vec<_>>());
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Per-key balance: fold test-set counts of one key differ by at most 1.
+    #[test]
+    fn k_fold_is_balanced(
+        keys in prop::collection::vec(0u8..4, 10..120),
+        seed in any::<u64>(),
+    ) {
+        let k = 5;
+        let folds = stratified_k_fold_by(&keys, k, seed);
+        for key in 0u8..4 {
+            let counts: Vec<usize> = folds
+                .iter()
+                .map(|f| f.test.iter().filter(|&&i| keys[i] == key).count())
+                .collect();
+            let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            prop_assert!(mx - mn <= 1, "key {key}: {counts:?}");
+        }
+    }
+
+    /// Seed derivation is injective-ish over small tag perturbations.
+    #[test]
+    fn derive_seed_sensitive_to_each_tag(
+        master in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(derive_seed(master, &[a]), derive_seed(master, &[b]));
+        prop_assert_ne!(derive_seed(master, &[a, b]), derive_seed(master, &[b, a]));
+    }
+
+    /// SplitMix64 streams from different seeds do not collide early.
+    #[test]
+    fn splitmix_streams_distinct(s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        let mut g1 = SplitMix64::new(s1);
+        let mut g2 = SplitMix64::new(s2);
+        let a: Vec<u64> = (0..8).map(|_| g1.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| g2.next_u64()).collect();
+        prop_assert_ne!(a, b);
+    }
+}

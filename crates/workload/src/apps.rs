@@ -1,0 +1,215 @@
+//! Application and input-size identities of the Table 2 dataset.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use efd_telemetry::AppLabel;
+use efd_util::rng::str_tag;
+
+/// The eleven applications of the paper's dataset (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AppId {
+    /// NPB FT — 3-D FFT, all-to-all communication heavy.
+    Ft,
+    /// NPB MG — multigrid, memory-bandwidth bound.
+    Mg,
+    /// NPB SP — scalar pentadiagonal solver.
+    Sp,
+    /// NPB LU — SSOR solver.
+    Lu,
+    /// NPB BT — block tridiagonal solver; behaviorally a near-twin of SP
+    /// (the paper's Table 4 collision).
+    Bt,
+    /// NPB CG — conjugate gradient, irregular memory access.
+    Cg,
+    /// CoMD — molecular-dynamics proxy, compute bound.
+    CoMd,
+    /// miniGhost — halo-exchange stencil proxy.
+    MiniGhost,
+    /// miniAMR — adaptive mesh refinement; strongly input-dependent
+    /// footprint (the paper's counterexample in §5).
+    MiniAmr,
+    /// miniMD — molecular-dynamics mini-app.
+    MiniMd,
+    /// Kripke — deterministic transport sweeps.
+    Kripke,
+}
+
+impl AppId {
+    /// All applications, in the paper's Table 2 order.
+    pub const ALL: [AppId; 11] = [
+        AppId::Ft,
+        AppId::Mg,
+        AppId::Sp,
+        AppId::Lu,
+        AppId::Bt,
+        AppId::Cg,
+        AppId::CoMd,
+        AppId::MiniGhost,
+        AppId::MiniAmr,
+        AppId::MiniMd,
+        AppId::Kripke,
+    ];
+
+    /// The starred applications of Table 2: the subset that also has the
+    /// large input size `L` (run on 32-node allocations).
+    pub const STARRED: [AppId; 4] = [
+        AppId::MiniGhost,
+        AppId::MiniAmr,
+        AppId::MiniMd,
+        AppId::Kripke,
+    ];
+
+    /// Application name as it appears in the paper's dictionary dumps
+    /// (lowercase for NPB, camel case for the mini-apps).
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::Ft => "ft",
+            AppId::Mg => "mg",
+            AppId::Sp => "sp",
+            AppId::Lu => "lu",
+            AppId::Bt => "bt",
+            AppId::Cg => "cg",
+            AppId::CoMd => "CoMD",
+            AppId::MiniGhost => "miniGhost",
+            AppId::MiniAmr => "miniAMR",
+            AppId::MiniMd => "miniMD",
+            AppId::Kripke => "kripke",
+        }
+    }
+
+    /// Parse a name produced by [`AppId::name`].
+    pub fn from_name(name: &str) -> Option<AppId> {
+        AppId::ALL.into_iter().find(|a| a.name() == name)
+    }
+
+    /// Whether this app has the `L` input size.
+    pub fn has_large_input(self) -> bool {
+        AppId::STARRED.contains(&self)
+    }
+
+    /// Stable seed tag for this app.
+    pub fn tag(self) -> u64 {
+        str_tag(self.name())
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Input sizes of the dataset. `X < Y < Z < L` in problem scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InputSize {
+    /// Smallest input.
+    X,
+    /// Medium input.
+    Y,
+    /// Large input.
+    Z,
+    /// Extra-large input, only for the starred apps, on 32 nodes.
+    L,
+}
+
+impl InputSize {
+    /// All input sizes, ascending.
+    pub const ALL: [InputSize; 4] = [InputSize::X, InputSize::Y, InputSize::Z, InputSize::L];
+
+    /// Name as used in labels (`X`, `Y`, `Z`, `L`).
+    pub fn name(self) -> &'static str {
+        match self {
+            InputSize::X => "X",
+            InputSize::Y => "Y",
+            InputSize::Z => "Z",
+            InputSize::L => "L",
+        }
+    }
+
+    /// Parse a name produced by [`InputSize::name`].
+    pub fn from_name(name: &str) -> Option<InputSize> {
+        InputSize::ALL.into_iter().find(|i| i.name() == name)
+    }
+
+    /// Ordinal scale step (X=0 … L=3), used by input-dependence models.
+    pub fn step(self) -> u32 {
+        match self {
+            InputSize::X => 0,
+            InputSize::Y => 1,
+            InputSize::Z => 2,
+            InputSize::L => 3,
+        }
+    }
+
+    /// Stable seed tag.
+    pub fn tag(self) -> u64 {
+        str_tag(self.name())
+    }
+}
+
+impl fmt::Display for InputSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Build the `"app input"` label for a run (the paper's value format,
+/// e.g. `ft X`).
+pub fn label(app: AppId, input: InputSize) -> AppLabel {
+    AppLabel::new(app.name(), input.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_apps_four_inputs() {
+        assert_eq!(AppId::ALL.len(), 11);
+        assert_eq!(InputSize::ALL.len(), 4);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for a in AppId::ALL {
+            assert_eq!(AppId::from_name(a.name()), Some(a));
+        }
+        for i in InputSize::ALL {
+            assert_eq!(InputSize::from_name(i.name()), Some(i));
+        }
+        assert_eq!(AppId::from_name("nonexistent"), None);
+    }
+
+    #[test]
+    fn starred_apps_have_large_input() {
+        for a in AppId::ALL {
+            assert_eq!(a.has_large_input(), AppId::STARRED.contains(&a));
+        }
+        assert!(AppId::MiniAmr.has_large_input());
+        assert!(!AppId::Ft.has_large_input());
+    }
+
+    #[test]
+    fn label_format_matches_paper() {
+        assert_eq!(label(AppId::Ft, InputSize::X).to_string(), "ft X");
+        assert_eq!(label(AppId::MiniAmr, InputSize::Z).to_string(), "miniAMR Z");
+        assert_eq!(label(AppId::CoMd, InputSize::Y).to_string(), "CoMD Y");
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let mut tags: Vec<u64> = AppId::ALL.iter().map(|a| a.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 11);
+    }
+
+    #[test]
+    fn input_steps_ascend() {
+        assert!(InputSize::X.step() < InputSize::Y.step());
+        assert!(InputSize::Y.step() < InputSize::Z.step());
+        assert!(InputSize::Z.step() < InputSize::L.step());
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic HPC application models and the labeled dataset generator.
+//!
+//! The paper evaluates on the public Taxonomist artifact: repeated,
+//! labeled executions of eleven applications (NPB FT/MG/SP/LU/BT/CG, CoMD,
+//! miniGhost, miniAMR, miniMD, Kripke) with input sizes X/Y/Z (+ L for a
+//! subset), monitored by LDMS. That artifact is network-gated, so this
+//! crate generates a *statistically faithful* substitute (see DESIGN.md §2):
+//!
+//! * [`apps`] — application and input-size identities.
+//! * [`profile`] — the per-(app, metric) signal model: steady levels with
+//!   app separation by discriminability tier, input-size scaling (miniAMR
+//!   strongly input-dependent, NPB apps barely), node-role asymmetry
+//!   (SP/BT use node 0 and the last node differently — paper Table 4),
+//!   an initialization transient over the first minute (why the paper
+//!   fingerprints `[60:120]`), periodic compute-phase wobble, and noise
+//!   magnitudes per tier.
+//! * [`run`] — materializes one execution into an
+//!   [`efd_telemetry::ExecutionTrace`] through the simulated LDMS collector.
+//! * [`dataset`] — the Table 2 dataset: run inventory, lazy materialization
+//!   (whole traces, or just window means for fingerprint-only workloads),
+//!   in parallel, deterministic per master seed.
+//! * [`splits`] — stratified k-fold and the leave-one-{input,app}-out
+//!   splits the paper's five experiments are built from.
+//!
+//! Everything is a deterministic function of the master seed; two processes
+//! generating the same spec get bit-identical traces.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apps;
+pub mod dataset;
+pub mod profile;
+pub mod run;
+pub mod splits;
+
+pub use apps::{AppId, InputSize};
+pub use dataset::{Dataset, DatasetSpec, SubsetKind};
+pub use profile::{GeneratorKnobs, SignalParams, Tier};
+pub use run::RunSpec;
+pub use splits::{leave_one_app_out, leave_one_input_out, stratified_k_fold, Fold};

@@ -1,0 +1,147 @@
+//! Train/test splits for the paper's five experiments.
+//!
+//! * [`stratified_k_fold`] — the paper's 5-fold cross-validation ("normal
+//!   fold"), stratified by label so every fold sees every (app, input).
+//! * [`leave_one_input_out`] / [`leave_one_app_out`] — the building blocks
+//!   of the soft/hard input/unknown experiments: each input size
+//!   (respectively application) is removed once.
+
+use efd_telemetry::AppLabel;
+use efd_util::split::stratified_k_fold_by;
+use efd_util::FxHashMap;
+
+/// One train/test partition of run indices.
+pub use efd_util::split::FoldIndices as Fold;
+
+/// Stratified k-fold over run labels: within every label group, runs are
+/// shuffled (seeded) and dealt round-robin to folds, so each fold's test
+/// set contains ≈ `group/k` runs of every label. Folds are disjoint and
+/// cover all indices.
+pub fn stratified_k_fold(labels: &[AppLabel], k: usize, seed: u64) -> Vec<Fold> {
+    stratified_k_fold_by(labels, k, seed)
+}
+
+/// For every distinct input size present, the indices of runs with that
+/// input (the set "removed from learning" in the soft/hard input
+/// experiments). Returned in sorted input-name order.
+pub fn leave_one_input_out(labels: &[AppLabel]) -> Vec<(String, Vec<usize>)> {
+    partition_by(labels, |l| l.input.clone())
+}
+
+/// For every distinct application present, the indices of runs of that
+/// application (the set removed in the soft/hard unknown experiments).
+pub fn leave_one_app_out(labels: &[AppLabel]) -> Vec<(String, Vec<usize>)> {
+    partition_by(labels, |l| l.app.clone())
+}
+
+fn partition_by<F: Fn(&AppLabel) -> String>(
+    labels: &[AppLabel],
+    key: F,
+) -> Vec<(String, Vec<usize>)> {
+    let mut groups: FxHashMap<String, Vec<usize>> = FxHashMap::default();
+    for (i, l) in labels.iter().enumerate() {
+        groups.entry(key(l)).or_default().push(i);
+    }
+    let mut out: Vec<(String, Vec<usize>)> = groups.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_labels() -> Vec<AppLabel> {
+        // 3 apps × 2 inputs × 5 reps = 30 runs.
+        let mut v = Vec::new();
+        for app in ["ft", "sp", "miniAMR"] {
+            for input in ["X", "Y"] {
+                for _ in 0..5 {
+                    v.push(AppLabel::new(app, input));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn folds_are_disjoint_and_cover() {
+        let labels = toy_labels();
+        let folds = stratified_k_fold(&labels, 5, 42);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![false; labels.len()];
+        for f in &folds {
+            for &i in &f.test {
+                assert!(!seen[i], "index {i} in two test sets");
+                seen[i] = true;
+            }
+            // train = complement of test
+            let mut all: Vec<usize> = f.train.iter().chain(&f.test).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let labels = toy_labels();
+        let folds = stratified_k_fold(&labels, 5, 42);
+        for f in &folds {
+            // 6 labels × 5 reps dealt into 5 folds → exactly 1 run of each
+            // label per fold.
+            assert_eq!(f.test.len(), 6);
+            let mut per_label: FxHashMap<&AppLabel, usize> = FxHashMap::default();
+            for &i in &f.test {
+                *per_label.entry(&labels[i]).or_default() += 1;
+            }
+            assert!(per_label.values().all(|&c| c == 1), "{per_label:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let labels = toy_labels();
+        assert_eq!(
+            stratified_k_fold(&labels, 5, 7),
+            stratified_k_fold(&labels, 5, 7)
+        );
+        assert_ne!(
+            stratified_k_fold(&labels, 5, 7),
+            stratified_k_fold(&labels, 5, 8)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn rejects_k_below_two() {
+        stratified_k_fold(&toy_labels(), 1, 0);
+    }
+
+    #[test]
+    fn leave_one_input_out_groups() {
+        let labels = toy_labels();
+        let groups = leave_one_input_out(&labels);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "X");
+        assert_eq!(groups[1].0, "Y");
+        assert_eq!(groups[0].1.len(), 15);
+        for &i in &groups[0].1 {
+            assert_eq!(labels[i].input, "X");
+        }
+    }
+
+    #[test]
+    fn leave_one_app_out_groups() {
+        let labels = toy_labels();
+        let groups = leave_one_app_out(&labels);
+        let names: Vec<&str> = groups.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["ft", "miniAMR", "sp"]);
+        for (name, idx) in &groups {
+            assert_eq!(idx.len(), 10);
+            for &i in idx {
+                assert_eq!(&labels[i].app, name);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Online recognition: a verdict while the job is still running.
+//!
+//! ```sh
+//! cargo run --release --example online_recognition
+//! ```
+//!
+//! The paper's pitch is low latency: related work waits for the whole
+//! execution, the EFD answers two minutes in. This example streams a job's
+//! telemetry sample by sample into an [`OnlineRecognizer`] and prints the
+//! moment the verdict drops.
+
+use efd::prelude::*;
+use efd_telemetry::catalog::small_catalog;
+
+fn main() {
+    let dataset = Dataset::with_catalog(DatasetSpec::default(), small_catalog());
+    let metric = dataset.catalog().id("nr_mapped_vmstat").unwrap();
+    let selection = MetricSelection::single(metric);
+
+    // Train on everything except the run we will stream.
+    let streamed_run = 7;
+    let train: Vec<ExecutionTrace> = (0..dataset.len())
+        .filter(|&i| i != streamed_run)
+        .map(|i| dataset.materialize_prefix(i, &selection, 120))
+        .collect();
+    let efd = Efd::fit_traces(EfdConfig::single_metric(metric), &train);
+    println!("dictionary ready (depth {})", efd.depth());
+
+    // "Live" job: materialize the full trace, then replay it as a stream —
+    // exactly what an LDMS subscriber would deliver.
+    let job = dataset.materialize(streamed_run, &selection);
+    println!(
+        "job started: {} nodes, duration {} s (true label hidden: {})",
+        job.node_count(),
+        job.duration_s,
+        job.label
+    );
+
+    let nodes: Vec<NodeId> = job.nodes.iter().map(|n| n.node).collect();
+    let mut recognizer = OnlineRecognizer::new(
+        efd.dictionary(),
+        &[metric],
+        &nodes,
+        vec![Interval::PAPER_DEFAULT],
+    );
+
+    'stream: for t in 0..job.duration_s {
+        for node in &job.nodes {
+            let value = node.series[0].at(t).unwrap_or(f64::NAN);
+            if let Some(recognition) = recognizer.push(node.node, metric, t, value) {
+                println!(
+                    "t = {t:>3} s: verdict {:?} after {} window means \
+                     ({} of {} matched); job still has {} s to run",
+                    recognition.verdict,
+                    recognizer.collected(),
+                    recognition.matched_points,
+                    recognition.total_points,
+                    job.duration_s - t
+                );
+                assert_eq!(recognition.best(), Some(job.label.app.as_str()));
+                break 'stream;
+            }
+        }
+    }
+    println!("ground truth was: {}", job.label);
+}

@@ -1,0 +1,82 @@
+//! Resource-usage prediction by reverse lookup (paper §6 future work).
+//!
+//! ```sh
+//! cargo run --release --example resource_prediction
+//! ```
+//!
+//! "Populating the dictionary with different time intervals could enable
+//! resource usage prediction, by using the dictionary in reverse." We
+//! learn a multi-interval dictionary, recognize a job from its first two
+//! minutes, then *forecast* its remaining resource usage from the stored
+//! fingerprints of past runs — and check the forecast against what the job
+//! actually does.
+
+use efd::prelude::*;
+use efd_core::reverse::predict_timeline_for;
+use efd_telemetry::catalog::small_catalog;
+
+fn main() {
+    let dataset = Dataset::with_catalog(DatasetSpec::default(), small_catalog());
+    let metric = dataset.catalog().id("nr_mapped_vmstat").unwrap();
+    let selection = MetricSelection::single(metric);
+    // Four fingerprint windows covering the first four minutes.
+    let tiling = Interval::tiling(60, 240);
+
+    // Pick a miniAMR run: its footprint ramps, so the forecast is
+    // non-trivial.
+    let target = (0..dataset.len())
+        .find(|&i| dataset.labels()[i].to_string() == "miniAMR Z")
+        .expect("a miniAMR Z run");
+
+    // Learn all windows of all other runs.
+    let train: Vec<ExecutionTrace> = (0..dataset.len())
+        .filter(|&i| i != target)
+        .map(|i| dataset.materialize(i, &selection))
+        .collect();
+    let config = EfdConfig {
+        metrics: vec![metric],
+        intervals: tiling.clone(),
+        depth: DepthPolicy::Fixed(RoundingDepth::new(3)),
+    };
+    let efd = Efd::fit_traces(config, &train);
+
+    // Recognize the new job from its FIRST TWO MINUTES only.
+    let early = dataset.materialize_prefix(target, &selection, 120);
+    let q = Query::from_trace(&early, &[metric], &[Interval::PAPER_DEFAULT]);
+    let rec = efd.recognize(&q);
+    let app = rec.best().expect("recognized");
+    let label = rec.predicted_label().expect("label with input").clone();
+    println!(
+        "recognized '{label}' at t = 120 s (truth: {})",
+        dataset.labels()[target]
+    );
+
+    // Reverse lookup: what will this application's nr_mapped look like for
+    // the rest of the execution? Filter by the predicted input size —
+    // miniAMR's footprint differs per input.
+    let forecast = predict_timeline_for(efd.dictionary(), app, Some(&label.input), metric);
+    let actual = dataset.materialize(target, &selection);
+    println!("\n  window       forecast      actual   error");
+    let mut worst = 0.0f64;
+    for (interval, predicted) in &forecast {
+        let mut actual_mean = 0.0;
+        for node in &actual.nodes {
+            actual_mean += node.series[0].window_mean(*interval);
+        }
+        actual_mean /= actual.node_count() as f64;
+        let err = (predicted / actual_mean - 1.0).abs();
+        worst = worst.max(err);
+        println!(
+            "  {:<10} {:>10.0}  {:>10.0}   {:>5.1}%",
+            interval.to_string(),
+            predicted,
+            actual_mean,
+            err * 100.0
+        );
+    }
+    assert!(
+        worst < 0.05,
+        "forecast should track actual usage (worst error {worst:.3})"
+    );
+    println!("\nforecast tracks the job within {:.1}%.", worst * 100.0);
+}
