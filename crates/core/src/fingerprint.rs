@@ -8,15 +8,13 @@
 //! ("we continue with low complexity by relying on dictionary-based
 //! matching of fingerprints with rounded values").
 
-use serde::{Deserialize, Serialize};
-
 use efd_telemetry::metric::MetricCatalog;
 use efd_telemetry::{Interval, MetricId, NodeId};
 
 use crate::rounding::RoundingDepth;
 
 /// A dictionary key: one rounded window mean on one node for one metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fingerprint {
     /// Which metric the mean was computed from.
     pub metric: MetricId,
@@ -28,6 +26,13 @@ pub struct Fingerprint {
     /// key is `Eq + Hash`.
     mean_bits: u64,
 }
+
+serde::impl_serde_struct!(Fingerprint {
+    metric,
+    node,
+    interval,
+    mean_bits,
+});
 
 impl Fingerprint {
     /// Build a fingerprint from a *raw* window mean, rounding at `depth`.

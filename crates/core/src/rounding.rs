@@ -25,7 +25,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Round `v` to `depth` significant decimal digits (half away from zero).
 ///
@@ -71,10 +71,25 @@ pub fn round_to_depth(v: f64, depth: u8) -> f64 {
 
 /// Validated rounding depth (1 ..= 17; 17 significant digits exceed f64
 /// decimal precision, i.e. identity).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RoundingDepth(u8);
+
+// Serialized transparently as the raw depth; deserialization re-validates
+// the 1..=17 invariant instead of panicking in `new`.
+impl Serialize for RoundingDepth {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for RoundingDepth {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let depth = u8::from_value(v)?;
+        RoundingDepth::try_new(depth).ok_or_else(|| {
+            Error::msg(format!("rounding depth {depth} outside 1..={}", Self::MAX))
+        })
+    }
+}
 
 impl RoundingDepth {
     /// Maximum supported depth.
@@ -85,12 +100,16 @@ impl RoundingDepth {
 
     /// Construct a depth; panics outside `1..=17`.
     pub fn new(depth: u8) -> Self {
-        assert!(
-            (1..=Self::MAX).contains(&depth),
-            "rounding depth must be in 1..={}, got {depth}",
-            Self::MAX
-        );
-        Self(depth)
+        Self::try_new(depth).unwrap_or_else(|| {
+            panic!("rounding depth must be in 1..={}, got {depth}", Self::MAX)
+        })
+    }
+
+    /// Construct a depth, `None` outside `1..=17` — the single validation
+    /// point shared by [`RoundingDepth::new`], deserialization, and
+    /// dictionary restore.
+    pub fn try_new(depth: u8) -> Option<Self> {
+        (1..=Self::MAX).contains(&depth).then_some(Self(depth))
     }
 
     /// The raw depth value.

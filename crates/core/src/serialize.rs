@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 use efd_telemetry::metric::MetricCatalog;
 use efd_telemetry::{AppLabel, Interval, NodeId};
@@ -18,21 +18,51 @@ use crate::dictionary::EfdDictionary;
 use crate::rounding::RoundingDepth;
 
 /// Serializable dictionary snapshot.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DictionaryDump {
     /// Rounding depth the dictionary was built with.
     pub depth: u8,
     /// Labels in first-learned order — the tie-break order of the paper's
     /// "array of application names". Restored before entries so ambiguous
     /// verdicts order identically.
-    #[serde(default)]
     pub label_order: Vec<(String, String)>,
     /// Entries in insertion order.
     pub entries: Vec<DumpEntry>,
 }
 
+// `label_order` is `#[serde(default)]`: dumps written before it existed
+// restore with an empty order and fall back to entry order.
+impl Serialize for DictionaryDump {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("depth".to_string(), self.depth.to_value()),
+            ("label_order".to_string(), self.label_order.to_value()),
+            ("entries".to_string(), self.entries.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DictionaryDump {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(DictionaryDump {
+            depth: RoundingDepth::from_value(
+                v.get("depth").ok_or_else(|| Error::msg("missing field `depth`"))?,
+            )?
+            .get(),
+            label_order: match v.get("label_order") {
+                Some(order) => Vec::from_value(order)?,
+                None => Vec::new(),
+            },
+            entries: Vec::from_value(
+                v.get("entries")
+                    .ok_or_else(|| Error::msg("missing field `entries`"))?,
+            )?,
+        })
+    }
+}
+
 /// One key-value pair of the dump.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DumpEntry {
     /// Metric name (portable across catalogs).
     pub metric: String,
@@ -48,11 +78,22 @@ pub struct DumpEntry {
     pub labels: Vec<(String, String)>,
 }
 
+serde::impl_serde_struct!(DumpEntry {
+    metric,
+    node,
+    start,
+    end,
+    mean,
+    labels,
+});
+
 /// Errors restoring a dump.
 #[derive(Debug)]
 pub enum RestoreError {
     /// A dumped metric name is absent from the catalog.
     UnknownMetric(String),
+    /// The dumped rounding depth is outside `1..=17`.
+    InvalidDepth(u8),
     /// JSON decode failure.
     Json(serde_json::Error),
 }
@@ -61,6 +102,7 @@ impl fmt::Display for RestoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RestoreError::UnknownMetric(m) => write!(f, "metric {m:?} not in catalog"),
+            RestoreError::InvalidDepth(d) => write!(f, "rounding depth {d} outside 1..=17"),
             RestoreError::Json(e) => write!(f, "json error: {e}"),
         }
     }
@@ -102,7 +144,11 @@ pub fn restore(
     dump: &DictionaryDump,
     catalog: &MetricCatalog,
 ) -> Result<EfdDictionary, RestoreError> {
-    let mut dict = EfdDictionary::new(RoundingDepth::new(dump.depth));
+    // Hand-constructed dumps can carry any u8; validate instead of letting
+    // `RoundingDepth::new` panic inside a Result-returning API.
+    let depth =
+        RoundingDepth::try_new(dump.depth).ok_or(RestoreError::InvalidDepth(dump.depth))?;
+    let mut dict = EfdDictionary::new(depth);
     let order: Vec<AppLabel> = dump
         .label_order
         .iter()
@@ -211,6 +257,23 @@ mod tests {
         });
         let q = Query::from_node_means(m, Interval::PAPER_DEFAULT, &[8700.0; 4]);
         assert_eq!(back.recognize(&q).best(), Some("kripke"));
+    }
+
+    #[test]
+    fn out_of_range_depth_is_an_error() {
+        let c = small_catalog();
+        // Through the JSON path: validated during deserialization.
+        assert!(matches!(
+            from_json(r#"{"depth":0,"label_order":[],"entries":[]}"#, &c),
+            Err(RestoreError::Json(_))
+        ));
+        // Through a hand-constructed dump: validated by restore().
+        let mut dmp = dump(&sample_dict(&c), &c);
+        dmp.depth = 99;
+        assert!(matches!(
+            restore(&dmp, &c),
+            Err(RestoreError::InvalidDepth(99))
+        ));
     }
 
     #[test]

@@ -89,7 +89,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let y: Vec<usize> = rows.iter().map(|r| (r[0] > 0.0) as usize).collect();
-        prop_assume!(y.iter().any(|&c| c == 0) && y.iter().any(|&c| c == 1));
+        prop_assume!(y.contains(&0) && y.contains(&1));
         let tree = DecisionTree::fit(
             TreeParams { seed, ..TreeParams::default() },
             &rows,

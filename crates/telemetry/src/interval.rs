@@ -8,18 +8,16 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Half-open time window `[start, end)` in seconds since execution start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interval {
     /// Inclusive start second.
     pub start: u32,
     /// Exclusive end second.
     pub end: u32,
 }
+
+serde::impl_serde_struct!(Interval { start, end });
 
 impl Interval {
     /// The paper's default fingerprinting window, `[60:120]`.

@@ -5,16 +5,16 @@
 //! per-metric metadata the workload models need (category, typical
 //! magnitude, a stable salt for deterministic per-metric variation).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 use efd_util::rng::str_tag;
 use efd_util::FxHashMap;
 
 /// Dense identifier of a metric within a [`MetricCatalog`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MetricId(pub u32);
+
+serde::impl_serde_newtype!(MetricId);
 
 impl MetricId {
     /// Index into catalog-ordered storage.
@@ -27,7 +27,7 @@ impl MetricId {
 /// Broad source category of a metric, mirroring the LDMS sampler plugins in
 /// the Taxonomist dataset. The workload models key their behavior (scale,
 /// app-separability, noise level) off this category.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MetricCategory {
     /// `/proc/vmstat` counters (pages, faults, …), suffix `_vmstat`.
     Vmstat,
@@ -79,8 +79,20 @@ impl MetricCategory {
     }
 }
 
+serde::impl_serde_unit_enum!(MetricCategory {
+    Vmstat,
+    Meminfo,
+    Procstat,
+    Nic,
+    Router,
+    Loadavg,
+    Netdev,
+    Power,
+    Misc,
+});
+
 /// Metadata for one metric.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MetricInfo {
     /// Full metric name as it appears in the dataset,
     /// e.g. `nr_mapped_vmstat` or `AMO_PKTS_metric_set_nic`.
@@ -95,15 +107,42 @@ pub struct MetricInfo {
     pub salt: u64,
 }
 
+serde::impl_serde_struct!(MetricInfo {
+    name,
+    category,
+    base_scale,
+    salt,
+});
+
 /// Owning interner for metric names and metadata.
 ///
 /// Ids are assigned densely in insertion order, so `Vec`s indexed by
 /// [`MetricId::index`] are the canonical per-metric storage.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MetricCatalog {
     infos: Vec<MetricInfo>,
-    #[serde(skip)]
     by_name: FxHashMap<String, MetricId>,
+}
+
+// The name index is skipped on the wire (serde's `#[serde(skip)]`):
+// deserialized catalogs start with an empty index until
+// [`MetricCatalog::rebuild_index`] runs.
+impl Serialize for MetricCatalog {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![("infos".to_string(), self.infos.to_value())])
+    }
+}
+
+impl Deserialize for MetricCatalog {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let infos = v
+            .get("infos")
+            .ok_or_else(|| Error::msg("missing field `infos`"))?;
+        Ok(MetricCatalog {
+            infos: Vec::<MetricInfo>::from_value(infos)?,
+            by_name: FxHashMap::default(),
+        })
+    }
 }
 
 impl MetricCatalog {

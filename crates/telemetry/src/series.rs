@@ -5,7 +5,7 @@
 //! can skip them — the paper's fingerprints are means over whatever samples
 //! actually landed in the window.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 use efd_util::stats::OnlineStats;
 
@@ -17,10 +17,28 @@ use crate::interval::Interval;
 ///
 /// Serialized as a list of nullable numbers: JSON cannot represent NaN, so
 /// gaps round-trip as `null`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(from = "Vec<Option<f64>>", into = "Vec<Option<f64>>")]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     values: Vec<f64>,
+}
+
+// Serde representation: `Vec<Option<f64>>` (the vendored-serde equivalent
+// of `#[serde(from/into = "Vec<Option<f64>>")]`).
+impl Serialize for TimeSeries {
+    fn to_value(&self) -> Value {
+        Value::Arr(
+            self.values
+                .iter()
+                .map(|&x| if x.is_finite() { Value::F64(x) } else { Value::Null })
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for TimeSeries {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<Option<f64>>::from_value(v).map(TimeSeries::from)
+    }
 }
 
 impl From<Vec<Option<f64>>> for TimeSeries {

@@ -8,17 +8,15 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::metric::MetricId;
 use crate::series::TimeSeries;
 
 /// Node index within one execution's allocation (0-based, as in the paper's
 /// Table 4).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u16);
+
+serde::impl_serde_newtype!(NodeId);
 
 impl NodeId {
     /// Index into per-node storage.
@@ -35,7 +33,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Application + input-size label, e.g. `ft X` (the paper's value format).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AppLabel {
     /// Application name, lowercase as in the paper's Table 4 (`ft`, `sp`,
     /// `miniAMR`, …).
@@ -60,13 +58,17 @@ impl fmt::Display for AppLabel {
     }
 }
 
+serde::impl_serde_struct!(AppLabel { app, input });
+
 /// Which metrics (and in which order) a trace's per-node series correspond
 /// to. Positions returned by [`MetricSelection::position`] index into
 /// [`NodeTrace::series`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricSelection {
     ids: Vec<MetricId>,
 }
+
+serde::impl_serde_struct!(MetricSelection { ids });
 
 impl MetricSelection {
     /// Selection over the given metrics, in the given order.
@@ -104,7 +106,7 @@ impl MetricSelection {
 
 /// Per-node telemetry of one execution: `series[p]` is the series for the
 /// metric at position `p` of the owning trace's [`MetricSelection`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeTrace {
     /// Node index within the allocation.
     pub node: NodeId,
@@ -112,8 +114,10 @@ pub struct NodeTrace {
     pub series: Vec<TimeSeries>,
 }
 
+serde::impl_serde_struct!(NodeTrace { node, series });
+
 /// One labeled job execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionTrace {
     /// Stable identifier (derived from the dataset seed path).
     pub exec_id: u64,
@@ -127,6 +131,14 @@ pub struct ExecutionTrace {
     /// collector died; normally equal to every series length).
     pub duration_s: u32,
 }
+
+serde::impl_serde_struct!(ExecutionTrace {
+    exec_id,
+    label,
+    selection,
+    nodes,
+    duration_s,
+});
 
 impl ExecutionTrace {
     /// Number of allocated nodes.

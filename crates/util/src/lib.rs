@@ -17,7 +17,8 @@
 //!   both the EFD fingerprint means and the Taxonomist-baseline feature
 //!   extraction without ever holding full traces in memory.
 //! * [`parallel`] — a scoped-thread `parallel_map` with dynamic load
-//!   balancing and deterministic output ordering (crossbeam, no global pool).
+//!   balancing and deterministic output ordering (std scoped threads, no
+//!   global pool).
 //! * [`table`] — plain-text/markdown table rendering for the experiment
 //!   harness so benches can print the paper's tables verbatim.
 

@@ -1,18 +1,17 @@
 //! Scoped-thread data parallelism.
 //!
 //! A tiny, predictable alternative to a global thread pool: [`parallel_map`]
-//! spawns scoped workers (crossbeam), pulls indices off a shared atomic
-//! counter (dynamic load balancing — metric screening has wildly uneven
-//! per-item cost), and scatters results back *in input order*, so callers
-//! get deterministic output regardless of scheduling.
+//! spawns scoped workers (`std::thread::scope`), pulls indices off a shared
+//! atomic counter (dynamic load balancing — metric screening has wildly
+//! uneven per-item cost), and scatters results back *in input order*, so
+//! callers get deterministic output regardless of scheduling.
 //!
 //! Thread count resolution: `EFD_THREADS` env var if set, else
 //! `std::thread::available_parallelism()`, always clamped to the item count.
 //! Workloads of one item (or one thread) run inline with zero spawn cost.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Number of worker threads to use for `n_items` work items.
 ///
@@ -22,7 +21,7 @@ pub fn num_threads(n_items: usize) -> usize {
     let hw = std::env::var("EFD_THREADS")
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
+        .map(|n| n.max(1))
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -76,9 +75,11 @@ where
     // short-lived lock; results end up in input order.
     let out: Mutex<Vec<Option<U>>> = Mutex::new((0..n).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
+    // `std::thread::scope` joins all workers on exit and propagates any
+    // worker panic to the caller.
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut state = init();
                 let mut local: Vec<(usize, U)> = Vec::new();
                 loop {
@@ -88,16 +89,16 @@ where
                     }
                     local.push((i, f(&mut state, &items[i])));
                 }
-                let mut guard = out.lock();
+                let mut guard = out.lock().expect("scatter lock poisoned");
                 for (i, v) in local {
                     guard[i] = Some(v);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     out.into_inner()
+        .expect("scatter lock poisoned")
         .into_iter()
         .map(|v| v.expect("all indices filled"))
         .collect()

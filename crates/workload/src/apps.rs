@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use efd_telemetry::AppLabel;
 use efd_util::rng::str_tag;
 
 /// The eleven applications of the paper's dataset (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AppId {
     /// NPB FT — 3-D FFT, all-to-all communication heavy.
     Ft,
@@ -35,6 +33,20 @@ pub enum AppId {
     /// Kripke — deterministic transport sweeps.
     Kripke,
 }
+
+serde::impl_serde_unit_enum!(AppId {
+    Ft,
+    Mg,
+    Sp,
+    Lu,
+    Bt,
+    Cg,
+    CoMd,
+    MiniGhost,
+    MiniAmr,
+    MiniMd,
+    Kripke,
+});
 
 impl AppId {
     /// All applications, in the paper's Table 2 order.
@@ -102,7 +114,7 @@ impl fmt::Display for AppId {
 }
 
 /// Input sizes of the dataset. `X < Y < Z < L` in problem scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum InputSize {
     /// Smallest input.
     X,
@@ -113,6 +125,8 @@ pub enum InputSize {
     /// Extra-large input, only for the starred apps, on 32 nodes.
     L,
 }
+
+serde::impl_serde_unit_enum!(InputSize { X, Y, Z, L });
 
 impl InputSize {
     /// All input sizes, ascending.

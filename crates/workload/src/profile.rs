@@ -114,7 +114,7 @@ pub fn tier_of(info: &MetricInfo) -> Tier {
         },
         MetricCategory::Nic | MetricCategory::Netdev | MetricCategory::Power => Tier::Medium,
         MetricCategory::Router => {
-            if info.salt % 2 == 0 {
+            if info.salt.is_multiple_of(2) {
                 Tier::Medium
             } else {
                 Tier::Weak

@@ -11,8 +11,6 @@
 //! (bit for bit) to materializing the full trace and averaging, because all
 //! random draws happen in sample order.
 
-use serde::{Deserialize, Serialize};
-
 use efd_telemetry::metric::MetricCatalog;
 use efd_telemetry::noise::{Composite, NoiseProcess};
 use efd_telemetry::sampler::{CollectorConfig, LdmsCollector, MetricSource};
@@ -24,7 +22,7 @@ use crate::apps::{label, AppId, InputSize};
 use crate::profile::{signal_params, GeneratorKnobs, SignalParams};
 
 /// Identity of one execution: everything needed to regenerate it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunSpec {
     /// Application.
     pub app: AppId,
@@ -39,6 +37,15 @@ pub struct RunSpec {
     /// Run seed (derived from the dataset master seed).
     pub seed: u64,
 }
+
+serde::impl_serde_struct!(RunSpec {
+    app,
+    input,
+    n_nodes,
+    rep,
+    duration_s,
+    seed,
+});
 
 impl RunSpec {
     /// Ground-truth label of this run.

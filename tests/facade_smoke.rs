@@ -1,0 +1,67 @@
+//! Facade smoke test: every `efd::*` re-export resolves, and a minimal
+//! learn → recognize round trip through the prelude succeeds.
+
+use efd::prelude::*;
+
+/// Touch each re-exported crate module through the facade path, so a
+/// missing `pub use` in `src/lib.rs` fails this test rather than only
+/// downstream builds.
+#[test]
+fn reexports_resolve() {
+    // efd::core
+    let depth: efd::core::rounding::RoundingDepth = RoundingDepth::new(2);
+    assert_eq!(depth.get(), 2);
+    // efd::telemetry
+    let window: efd::telemetry::interval::Interval = Interval::PAPER_DEFAULT;
+    assert_eq!(window.duration(), 60);
+    // efd::workload
+    assert_eq!(efd::workload::AppId::ALL.len(), 11);
+    // efd::ml
+    assert_eq!(efd::ml::metrics::UNKNOWN_LABEL, "unknown");
+    // efd::eval
+    assert!(!efd::eval::paper::HEADLINE_METRIC.is_empty());
+    // efd::util
+    assert_eq!(efd::util::SplitMix64::new(7).next_below(1), 0);
+}
+
+#[test]
+fn prelude_learn_recognize_roundtrip() {
+    let mut dict = EfdDictionary::new(RoundingDepth::new(2));
+    let w = Interval::PAPER_DEFAULT;
+    for (app, mean) in [("ft", 6037.2), ("sp", 7617.8)] {
+        dict.learn(&LabeledObservation {
+            label: AppLabel::new(app, "X"),
+            query: Query {
+                points: vec![ObsPoint {
+                    metric: MetricId(0),
+                    node: NodeId(0),
+                    interval: w,
+                    mean,
+                }],
+            },
+        });
+    }
+
+    // A nearby mean lands in the same depth-2 bucket and is recognized.
+    let query = Query {
+        points: vec![ObsPoint {
+            metric: MetricId(0),
+            node: NodeId(0),
+            interval: w,
+            mean: 5980.4,
+        }],
+    };
+    let recognition = dict.recognize(&query);
+    assert_eq!(recognition.verdict, Verdict::Recognized("ft".to_string()));
+
+    // A mean far from every learned bucket stays unknown.
+    let stranger = Query {
+        points: vec![ObsPoint {
+            metric: MetricId(0),
+            node: NodeId(0),
+            interval: w,
+            mean: 123.0,
+        }],
+    };
+    assert_eq!(dict.recognize(&stranger).verdict, Verdict::Unknown);
+}

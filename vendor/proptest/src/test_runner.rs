@@ -1,0 +1,96 @@
+//! Case runner and RNG for the vendored proptest.
+
+/// Why a test-case closure did not return `Ok`.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition failed; the case is discarded.
+    Reject,
+    /// `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// SplitMix64 RNG — tiny, seedable, good enough for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        // Lemire-style rejection-free reduction is overkill for tests;
+        // modulo bias is negligible at these bounds.
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 48).
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Drive one property: generate cases until `case_count` of them ran (or
+/// the reject budget is exhausted), panicking on the first failure.
+pub fn run(name: &str, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+    let want = case_count();
+    let max_rejects = want * 64;
+    let mut ran = 0u64;
+    let mut rejected = 0u64;
+    let mut attempt = 0u64;
+    while ran < want {
+        // Seed derived from the property name so distinct properties explore
+        // distinct streams, but runs are reproducible.
+        let seed = name
+            .bytes()
+            .fold(0xcbf29ce484222325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100000001b3)
+            })
+            .wrapping_add(attempt.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    // Too constrained to generate: surface loudly rather than
+                    // silently passing with zero executed cases.
+                    assert!(
+                        ran > 0,
+                        "property {name}: all {rejected} generated cases were rejected"
+                    );
+                    eprintln!(
+                        "warning: property {name} ran only {ran}/{want} cases \
+                         ({rejected} rejected)"
+                    );
+                    return;
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed at case {ran} (attempt {attempt}): {msg}");
+            }
+        }
+        attempt += 1;
+    }
+}

@@ -1,0 +1,384 @@
+//! Vendored, dependency-free stand-in for `serde`, used because this
+//! workspace must build fully offline (no crates.io access).
+//!
+//! Instead of serde's visitor architecture, this crate models serialization
+//! as conversion to and from a JSON-like [`Value`] tree:
+//!
+//! * [`Serialize`] — `fn to_value(&self) -> Value`
+//! * [`Deserialize`] — `fn from_value(&Value) -> Result<Self, Error>`
+//!
+//! Derive macros are replaced by declarative macros invoked next to the
+//! type definition ([`impl_serde_struct!`], [`impl_serde_newtype!`],
+//! [`impl_serde_unit_enum!`]); types that used `#[serde(...)]` attributes
+//! (skip, default, from/into) write the short manual impl instead.
+//!
+//! The companion vendored `serde_json` crate supplies the JSON text codec
+//! over the same [`Value`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-like value tree.
+///
+/// Integers keep full 64-bit fidelity (`U64`/`I64` variants) so ids and
+/// seeds survive round-trips exactly; floats print via Rust's
+/// shortest-round-trip formatting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object; insertion order preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as f64 if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as u64 if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            // `u64::MAX as f64` rounds up to 2^64, which is out of range —
+            // the bound must be exclusive or the cast would saturate.
+            Value::F64(n) if n >= 0.0 && n.fract() == 0.0 && n < u64::MAX as f64 => {
+                Some(n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as i64 if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            Value::I64(n) => Some(n),
+            // Exclusive upper bound: `i64::MAX as f64` rounds up to 2^63.
+            Value::F64(n)
+                if n.fract() == 0.0 && n >= i64::MIN as f64 && n < i64::MAX as f64 =>
+            {
+                Some(n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as &str if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice if it is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// (De)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Represent `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn expected(what: &str, got: &Value) -> Error {
+    Error::msg(format!("expected {what}, got {got:?}"))
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )+};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )+};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| expected("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| expected("f32", v))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned).ok_or_else(|| expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()
+            .ok_or_else(|| expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(expected("2-element array", v)),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Arr(
+            self.iter()
+                .map(|(k, v)| Value::Arr(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Derive replacements
+// ---------------------------------------------------------------------
+
+/// Implement `Serialize`/`Deserialize` for a struct with named public (or
+/// module-visible) fields; serialized as a JSON object in field order.
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> ::std::result::Result<Self, $crate::Error> {
+                Ok(Self {
+                    $($field: $crate::Deserialize::from_value(
+                        v.get(stringify!($field)).ok_or_else(|| $crate::Error::msg(
+                            concat!("missing field `", stringify!($field), "`")))?,
+                    )?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implement `Serialize`/`Deserialize` for a single-field tuple struct,
+/// serialized transparently as the inner value.
+#[macro_export]
+macro_rules! impl_serde_newtype {
+    ($ty:ident) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> ::std::result::Result<Self, $crate::Error> {
+                Ok($ty($crate::Deserialize::from_value(v)?))
+            }
+        }
+    };
+}
+
+/// Implement `Serialize`/`Deserialize` for a fieldless enum, serialized as
+/// the variant name string (serde's default external representation).
+#[macro_export]
+macro_rules! impl_serde_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                match self {
+                    $($ty::$variant => $crate::Value::Str(stringify!($variant).to_string()),)+
+                }
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> ::std::result::Result<Self, $crate::Error> {
+                match v.as_str() {
+                    $(Some(stringify!($variant)) => Ok($ty::$variant),)+
+                    _ => Err($crate::Error::msg(format!(
+                        concat!("invalid ", stringify!($ty), " variant: {:?}"), v))),
+                }
+            }
+        }
+    };
+}
