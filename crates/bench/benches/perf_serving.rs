@@ -1,0 +1,160 @@
+//! Serving throughput: single-thread oracle vs sharded batch recognition.
+//!
+//! The `efd_serve` acceptance claim, quantified: freeze the trained
+//! dictionary into a [`efd_serve::Snapshot`] at several shard counts and
+//! answer a ≥ 10 000-query stream through [`efd_serve::BatchRecognizer`],
+//! against the single-threaded [`efd_core::EfdDictionary::recognize`]
+//! loop as baseline. Two served modes are measured:
+//!
+//! * `batch_full` — full [`efd_core::Recognition`] per query (vote
+//!   tables, normalized ordering): answer-identical to the oracle.
+//! * `batch_best` — the zero-allocation verdict path
+//!   ([`efd_serve::BatchRecognizer::best_batch`]): only the application
+//!   name the paper's evaluation scores.
+//!
+//! Speedup comes from two independent levers: worker parallelism
+//! (`EFD_THREADS`, default = available cores) and the dense-counter read
+//! path that skips the oracle's per-query vote hash maps.
+//!
+//! Knobs: `EFD_SERVE_QUERIES` (default 10000), `EFD_SERVE_REPS`
+//! (default 5; best-of-N wall clock per row).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::black_box;
+use efd_bench::{bench_dataset, headline_metric};
+use efd_core::observation::{LabeledObservation, Query};
+use efd_core::training::{Efd, EfdConfig};
+use efd_core::RoundingDepth;
+use efd_serve::{BatchRecognizer, Snapshot};
+use efd_telemetry::trace::MetricSelection;
+use efd_telemetry::Interval;
+use efd_util::{num_threads, SplitMix64, TextTable};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Best-of-`reps` wall-clock seconds for one pass over the workload.
+fn time_best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let n_queries = env_usize("EFD_SERVE_QUERIES", 10_000);
+    let reps = env_usize("EFD_SERVE_REPS", 5);
+
+    let dataset = bench_dataset();
+    let metric = headline_metric(&dataset);
+    let sel = MetricSelection::single(metric);
+    let means: Vec<Vec<f64>> = dataset
+        .window_means_all(&sel, Interval::PAPER_DEFAULT)
+        .into_iter()
+        .map(|per_node| per_node.into_iter().map(|m| m[0]).collect())
+        .collect();
+    let labels = dataset.labels();
+    let observations: Vec<LabeledObservation> = (0..dataset.len())
+        .map(|i| LabeledObservation {
+            label: labels[i].clone(),
+            query: Query::from_node_means(metric, Interval::PAPER_DEFAULT, &means[i]),
+        })
+        .collect();
+    let efd = Efd::fit(
+        EfdConfig::single_metric_fixed(metric, RoundingDepth::new(3)),
+        &observations,
+    );
+    let dict = efd.dictionary().clone();
+
+    // ≥ 10k-query stream: the dataset's runs, repeated with ±0.2% jitter.
+    let mut rng = SplitMix64::new(0x5E21E);
+    let queries: Vec<Query> = (0..n_queries)
+        .map(|i| {
+            let jittered: Vec<f64> = means[i % means.len()]
+                .iter()
+                .map(|m| m * (1.0 + (rng.next_f64() - 0.5) * 0.004))
+                .collect();
+            Query::from_node_means(metric, Interval::PAPER_DEFAULT, &jittered)
+        })
+        .collect();
+
+    println!(
+        "workload: {} queries over a {}-entry dictionary (depth {}), {} worker threads\n",
+        queries.len(),
+        dict.len(),
+        dict.depth(),
+        num_threads(queries.len()),
+    );
+
+    // Baseline: single-thread oracle loop, full Recognition per query.
+    let t_oracle = time_best_of(reps, || {
+        for q in &queries {
+            black_box(dict.recognize(q).matched_points);
+        }
+    });
+    let qps_oracle = queries.len() as f64 / t_oracle;
+
+    let mut table = TextTable::new(vec![
+        "mode", "shards", "time ms", "q/s", "speedup",
+    ])
+    .with_title("Serving throughput vs single-thread oracle".to_string());
+    table.add_row(vec![
+        "oracle_single_thread".to_string(),
+        "-".to_string(),
+        format!("{:.1}", t_oracle * 1e3),
+        format!("{qps_oracle:.0}"),
+        "1.00x".to_string(),
+    ]);
+
+    let mut speedup_at_8_full = 0.0f64;
+    let mut speedup_at_8_best = 0.0f64;
+    for shards in [1usize, 2, 4, 8, 16] {
+        let snapshot = Arc::new(Snapshot::freeze(&dict, shards));
+        let server = BatchRecognizer::new(Arc::clone(&snapshot));
+
+        let t_full = time_best_of(reps, || {
+            black_box(server.recognize_batch(&queries).len());
+        });
+        let t_best = time_best_of(reps, || {
+            black_box(server.best_batch(&queries).len());
+        });
+        for (mode, t, track) in [
+            ("batch_full", t_full, &mut speedup_at_8_full),
+            ("batch_best", t_best, &mut speedup_at_8_best),
+        ] {
+            let speedup = t_oracle / t;
+            if shards == 8 {
+                *track = speedup;
+            }
+            table.add_row(vec![
+                mode.to_string(),
+                shards.to_string(),
+                format!("{:.1}", t * 1e3),
+                format!("{:.0}", queries.len() as f64 / t),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    println!(
+        "\nacceptance: sharded batch recognition at 8 shards on {} queries:",
+        queries.len()
+    );
+    println!("  full-fidelity batch : {speedup_at_8_full:.2}x single-thread");
+    println!("  verdict-only batch  : {speedup_at_8_best:.2}x single-thread");
+    let ok = speedup_at_8_full.max(speedup_at_8_best) >= 2.0;
+    println!(
+        "  >= 2x threshold     : {}",
+        if ok { "PASS" } else { "MISS" }
+    );
+}

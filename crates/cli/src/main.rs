@@ -7,6 +7,7 @@
 //! efd screen [--top N]                    per-metric F-scores (Table 3 data)
 //! efd recognize --run <idx>               leave-one-out demo on run <idx>
 //! efd export-dict --out <path>            train on everything, dump JSON
+//! efd serve --dict <path> [--queries f]   sharded batch recognition service demo
 //! efd report --out <path>                 write EXPERIMENTS.md content
 //! efd help
 //! ```
@@ -308,6 +309,204 @@ fn cmd_export_dict(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a query batch file. Two formats, chosen by extension:
+///
+/// * `.json` — an array of `{"metric": name, "start": s, "end": e,
+///   "means": [per-node means…]}` objects;
+/// * anything else — CSV rows `metric,start,end,mean0,mean1,…` with a
+///   variable number of trailing per-node means (optional header).
+fn load_queries(
+    path: &str,
+    catalog: &efd_telemetry::MetricCatalog,
+) -> Result<Vec<efd_core::Query>, String> {
+    use serde::Deserialize;
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut queries = Vec::new();
+    if path.ends_with(".json") {
+        let root: serde::Value =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        let serde::Value::Arr(items) = root else {
+            return Err(format!("{path}: expected a JSON array of queries"));
+        };
+        for (i, item) in items.iter().enumerate() {
+            let field = |k: &str| {
+                item.get(k)
+                    .ok_or_else(|| format!("{path}: query #{i} missing {k:?}"))
+            };
+            let name = String::from_value(field("metric")?).map_err(|e| e.to_string())?;
+            let metric = catalog
+                .id(&name)
+                .ok_or_else(|| format!("{path}: query #{i}: unknown metric {name:?}"))?;
+            let start = u32::from_value(field("start")?).map_err(|e| e.to_string())?;
+            let end = u32::from_value(field("end")?).map_err(|e| e.to_string())?;
+            if end <= start {
+                return Err(format!("{path}: query #{i}: empty interval [{start}:{end}]"));
+            }
+            let means = Vec::<f64>::from_value(field("means")?).map_err(|e| e.to_string())?;
+            if means.is_empty() {
+                return Err(format!("{path}: query #{i}: no per-node means"));
+            }
+            queries.push(efd_core::Query::from_node_means(
+                metric,
+                efd_telemetry::Interval::new(start, end),
+                &means,
+            ));
+        }
+    } else {
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (lineno == 0 && line.starts_with("metric")) {
+                continue;
+            }
+            let mut cols = line.split(',');
+            let err = |what: &str| format!("{path}:{}: {what}", lineno + 1);
+            let name = cols.next().ok_or_else(|| err("missing metric"))?.trim();
+            let metric = catalog
+                .id(name)
+                .ok_or_else(|| err(&format!("unknown metric {name:?}")))?;
+            let start: u32 = cols
+                .next()
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(|| err("bad start"))?;
+            let end: u32 = cols
+                .next()
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(|| err("bad end"))?;
+            if end <= start {
+                return Err(err(&format!("empty interval [{start}:{end}]")));
+            }
+            let means = cols
+                .map(|s| s.trim().parse::<f64>().map_err(|e| err(&e.to_string())))
+                .collect::<Result<Vec<f64>, _>>()?;
+            if means.is_empty() {
+                return Err(err("no per-node means"));
+            }
+            queries.push(efd_core::Query::from_node_means(
+                metric,
+                efd_telemetry::Interval::new(start, end),
+                &means,
+            ));
+        }
+    }
+    if queries.is_empty() {
+        return Err(format!("{path}: no queries"));
+    }
+    Ok(queries)
+}
+
+/// Synthesize a recognition workload from the dataset: cycle its runs'
+/// window means with small deterministic jitter (a stream of repeated
+/// executions, as an always-on service would see).
+fn synth_queries(d: &Dataset, count: usize) -> Vec<efd_core::Query> {
+    let metric = headline(d);
+    let sel = efd_telemetry::trace::MetricSelection::single(metric);
+    let per_run: Vec<Vec<f64>> = d
+        .window_means_all(&sel, efd_telemetry::Interval::PAPER_DEFAULT)
+        .into_iter()
+        .map(|nodes| nodes.into_iter().map(|m| m[0]).collect())
+        .collect();
+    let mut rng = efd_util::SplitMix64::new(0x5E21E);
+    (0..count)
+        .map(|i| {
+            let means: Vec<f64> = per_run[i % per_run.len()]
+                .iter()
+                .map(|m| m * (1.0 + (rng.next_f64() - 0.5) * 0.004))
+                .collect();
+            efd_core::Query::from_node_means(
+                metric,
+                efd_telemetry::Interval::PAPER_DEFAULT,
+                &means,
+            )
+        })
+        .collect()
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let dict_path = args
+        .flag("dict")
+        .ok_or("need --dict <dump.json> (produce one with `efd export-dict`)")?;
+    let shards: usize = args.flag_parsed("shards")?.unwrap_or(8);
+    let repeat: usize = args.flag_parsed("repeat")?.unwrap_or(1).max(1);
+
+    let d = dataset_from(args)?;
+    let json = std::fs::read_to_string(dict_path).map_err(|e| format!("{dict_path}: {e}"))?;
+    let dict = serialize::from_json(&json, d.catalog()).map_err(|e| e.to_string())?;
+
+    let queries = match (args.flag("queries"), args.flag_parsed::<usize>("synth")?) {
+        (Some(path), None) => load_queries(path, d.catalog())?,
+        (None, Some(n)) => synth_queries(&d, n.max(1)),
+        (None, None) => synth_queries(&d, 10_000),
+        (Some(_), Some(_)) => return Err("--queries and --synth are mutually exclusive".into()),
+    };
+
+    let snapshot = Arc::new(efd_serve::Snapshot::freeze(&dict, shards));
+    let sizes = snapshot.shard_sizes();
+    println!(
+        "dictionary: {} entries, depth {}, {} labels, {} apps",
+        snapshot.len(),
+        dict.depth(),
+        snapshot.label_count(),
+        snapshot.app_names().len()
+    );
+    println!(
+        "snapshot:   {} shards, keys/shard min {} max {}",
+        snapshot.shard_count(),
+        sizes.iter().min().unwrap_or(&0),
+        sizes.iter().max().unwrap_or(&0),
+    );
+
+    let server = efd_serve::BatchRecognizer::new(Arc::clone(&snapshot));
+    let start = Instant::now();
+    let mut answers = Vec::new();
+    for _ in 0..repeat {
+        answers = server.recognize_batch(&queries);
+    }
+    let elapsed = start.elapsed();
+    let total = queries.len() * repeat;
+
+    let (mut recognized, mut ambiguous, mut unknown) = (0usize, 0usize, 0usize);
+    for r in &answers {
+        match &r.verdict {
+            efd_core::Verdict::Recognized(_) => recognized += 1,
+            efd_core::Verdict::Ambiguous(_) => ambiguous += 1,
+            efd_core::Verdict::Unknown => unknown += 1,
+        }
+    }
+    println!(
+        "batch:      {total} queries in {:.3} s → {:.0} q/s ({} worker threads)",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+        efd_util::num_threads(queries.len()),
+    );
+    println!(
+        "verdicts:   {recognized} recognized, {ambiguous} ambiguous, {unknown} unknown (per batch of {})",
+        queries.len()
+    );
+
+    // Single-thread oracle loop over the same work, for the speedup line.
+    let start = Instant::now();
+    for _ in 0..repeat {
+        for q in &queries {
+            std::hint::black_box(dict.recognize(q).matched_points);
+        }
+    }
+    let base = start.elapsed();
+    println!(
+        "oracle:     {total} queries in {:.3} s → {:.0} q/s (single-thread EfdDictionary)",
+        base.as_secs_f64(),
+        total as f64 / base.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "speedup:    {:.2}x",
+        base.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
+    );
+    Ok(())
+}
+
 fn cmd_report(args: &Args) -> Result<(), String> {
     let out = args.flag("out").unwrap_or("EXPERIMENTS.md");
     let d = dataset_from(args)?;
@@ -334,6 +533,8 @@ COMMANDS
   generate               export runs as LDMS-style CSVs: --out <dir> [--count N]
   ingest-csv             recognize a run from CSVs: --dir <path> --run <prefix>
   export-dict            train on all runs, dump the dictionary: --out <path>
+  serve                  batch recognition service demo: --dict <dump.json>
+                         [--queries <csv|json>] [--synth N] [--shards N] [--repeat N]
   report                 write EXPERIMENTS.md content: [--out <path>]
   help                   this text
 
@@ -365,6 +566,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args),
         "ingest-csv" => cmd_ingest_csv(&args),
         "export-dict" => cmd_export_dict(&args),
+        "serve" => cmd_serve(&args),
         "report" => cmd_report(&args),
         "help" | "--help" | "-h" => {
             print!("{HELP}");

@@ -1,10 +1,13 @@
 //! The dictionary: learning, lookup, and vote-based recognition.
 //!
 //! Keys are [`Fingerprint`]s; values are **insertion-ordered** lists of
-//! `application + input size` labels (the paper's Table 4 format). The
-//! ordering matters: when recognition ties, the EFD "will return an array
-//! of these application names" and the paper's evaluation "considers the
-//! first application name in the array" — which is the first one learned.
+//! `application + input size` labels (the paper's Table 4 format). When
+//! recognition ties, the EFD "will return an array of these application
+//! names" — the [`Verdict::Ambiguous`] array preserves first-learned order,
+//! as the paper's Table 4 prints it. Scoring a tie with
+//! [`Recognition::best`] uses a *deterministic* rule instead
+//! (lexicographically smallest tied name) so results do not depend on
+//! learn order; see its docs.
 //!
 //! Recognition: every point of a query is fingerprinted and looked up; each
 //! hit votes once for every application *name* in the entry (the paper
@@ -24,12 +27,69 @@ use crate::rounding::RoundingDepth;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LabelId(u32);
 
+impl LabelId {
+    /// The position of this label in [`EfdDictionary::labels_in_order`]
+    /// (and in [`DictionaryParts::labels`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild an id from an index previously obtained via
+    /// [`LabelId::index`] — used when thawing [`DictionaryParts`] into a
+    /// different container (e.g. a sharded serving structure).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        LabelId(index as u32)
+    }
+}
+
 /// Interned application name within one dictionary (tie-break order =
 /// first-seen order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AppNameId(u32);
 
-/// The Execution Fingerprint Dictionary.
+impl AppNameId {
+    /// The position of this application in [`EfdDictionary::app_names`]
+    /// (and in [`DictionaryParts::apps`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild an id from an index previously obtained via
+    /// [`AppNameId::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        AppNameId(index as u32)
+    }
+}
+
+/// The Execution Fingerprint Dictionary (paper §4, Figure 1).
+///
+/// Learning inserts rounded window means as keys (step 1); recognition
+/// fingerprints a query the same way, looks every point up, and lets each
+/// hit vote for the applications stored under it (steps 2–3).
+///
+/// ```
+/// use efd_core::{EfdDictionary, Query, RoundingDepth};
+/// use efd_core::dictionary::Verdict;
+/// use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
+///
+/// let mut dict = EfdDictionary::new(RoundingDepth::new(2));
+/// // Learn one 4-node execution of NPB `ft`, input X.
+/// for (node, mean) in [6020.0, 6023.0, 6019.0, 6021.0].into_iter().enumerate() {
+///     dict.insert_raw(MetricId(0), NodeId(node as u16), Interval::PAPER_DEFAULT,
+///                     mean, &AppLabel::new("ft", "X"));
+/// }
+/// // A later execution with similar-but-not-identical means still matches:
+/// // every mean rounds to the same 6000.0 key.
+/// let query = Query::from_node_means(MetricId(0), Interval::PAPER_DEFAULT,
+///                                    &[6031.0, 5988.0, 6007.0, 6044.0]);
+/// let r = dict.recognize(&query);
+/// assert_eq!(r.verdict, Verdict::Recognized("ft".into()));
+/// assert_eq!(r.matched_points, 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct EfdDictionary {
     depth: RoundingDepth,
@@ -50,8 +110,10 @@ pub struct EfdDictionary {
 pub enum Verdict {
     /// Exactly one application had the most matches.
     Recognized(String),
-    /// Several applications tied for the most matches; ordered by
-    /// first-learned (the paper scores the first).
+    /// Several applications tied for the most matches; ordered
+    /// first-learned, as the paper prints the array. Scoring a tie uses
+    /// [`Recognition::best`]'s deterministic lexicographic rule, not the
+    /// array position.
     Ambiguous(Vec<String>),
     /// No fingerprint matched: never-seen execution (the paper's safeguard
     /// against unknown applications).
@@ -63,7 +125,9 @@ pub enum Verdict {
 pub struct Recognition {
     /// The verdict (see [`Verdict`]).
     pub verdict: Verdict,
-    /// Application vote counts, descending (ties in first-learned order).
+    /// Application vote counts, descending (equal counts in first-learned
+    /// order here; [`Recognition::normalized`] re-orders them
+    /// lexicographically).
     pub app_votes: Vec<(String, u32)>,
     /// Full-label vote counts (application + input), same ordering rules —
     /// the paper's dictionary stores input sizes, so the EFD can also
@@ -76,14 +140,60 @@ pub struct Recognition {
 }
 
 impl Recognition {
-    /// The application name the paper's evaluation scores: the single
-    /// recognized app, or the first of a tie array. `None` for unknown.
+    /// The application name the paper's evaluation scores. `None` for
+    /// [`Verdict::Unknown`].
+    ///
+    /// **Tie-break rule:** when several applications tie for the most
+    /// votes ([`Verdict::Ambiguous`]), `best` returns the
+    /// **lexicographically smallest** tied application name. The rule is
+    /// deterministic and independent of learn order — two dictionaries
+    /// holding the same entries agree on `best` even if they learned the
+    /// same observations in different orders (or concurrently, as the
+    /// sharded serving layer does). Earlier versions returned the
+    /// *first-learned* tied application, which silently depended on
+    /// `Vec<LabelId>` insertion order.
+    ///
+    /// ```
+    /// use efd_core::dictionary::{Recognition, Verdict};
+    ///
+    /// let r = Recognition {
+    ///     verdict: Verdict::Ambiguous(vec!["sp".into(), "bt".into()]),
+    ///     app_votes: vec![("sp".into(), 4), ("bt".into(), 4)],
+    ///     label_votes: vec![],
+    ///     matched_points: 4,
+    ///     total_points: 4,
+    /// };
+    /// // "bt" < "sp" lexicographically, regardless of array order.
+    /// assert_eq!(r.best(), Some("bt"));
+    /// ```
     pub fn best(&self) -> Option<&str> {
         match &self.verdict {
             Verdict::Recognized(a) => Some(a),
-            Verdict::Ambiguous(apps) => apps.first().map(String::as_str),
+            Verdict::Ambiguous(apps) => apps.iter().map(String::as_str).min(),
             Verdict::Unknown => None,
         }
+    }
+
+    /// Canonical form with all orderings made deterministic: votes sort by
+    /// count descending, then lexicographically by application name (for
+    /// `app_votes`) or by `(app, input)` (for `label_votes`); an
+    /// [`Verdict::Ambiguous`] tie array sorts lexicographically.
+    ///
+    /// Two recognitions over dictionaries with identical *content* but
+    /// different learn order normalize to equal values — the
+    /// oracle-equivalence contract the sharded serving layer is tested
+    /// against.
+    pub fn normalized(mut self) -> Recognition {
+        self.app_votes
+            .sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        self.label_votes.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| (&a.0.app, &a.0.input).cmp(&(&b.0.app, &b.0.input)))
+        });
+        if let Verdict::Ambiguous(apps) = &mut self.verdict {
+            apps.sort();
+        }
+        self
     }
 
     /// Most-voted full label (application + input size), if any matched.
@@ -114,6 +224,29 @@ pub struct DictionaryStats {
     pub mean_labels_per_entry: f64,
     /// Rough memory footprint in bytes (keys + label lists).
     pub approx_bytes: usize,
+}
+
+/// Owned decomposition of an [`EfdDictionary`] — the freeze/thaw format.
+///
+/// `into_parts` / `from_parts` let a learned dictionary move between
+/// containers **without re-learning**: the serving layer thaws parts into
+/// hash-partitioned shards, merge tooling concatenates parts, tests build
+/// fixtures directly. All invariants of the source dictionary are carried:
+/// entries stay in insertion order, `LabelId`s index [`Self::labels`], and
+/// [`Self::label_app`] maps every label to its application's position in
+/// [`Self::apps`].
+#[derive(Debug, Clone)]
+pub struct DictionaryParts {
+    /// Rounding depth the entries were built with.
+    pub depth: RoundingDepth,
+    /// `(key, labels)` pairs in first-insertion order.
+    pub entries: Vec<(Fingerprint, Vec<LabelId>)>,
+    /// Interned labels; `LabelId(i)` names `labels[i]`.
+    pub labels: Vec<AppLabel>,
+    /// Interned application names; `AppNameId(i)` names `apps[i]`.
+    pub apps: Vec<String>,
+    /// `labels[i]`'s application is `apps[label_app[i].index()]`.
+    pub label_app: Vec<AppNameId>,
 }
 
 impl EfdDictionary {
@@ -330,6 +463,136 @@ impl EfdDictionary {
         }
     }
 
+    /// Decompose into [`DictionaryParts`], consuming the dictionary.
+    ///
+    /// The parts round-trip through [`EfdDictionary::from_parts`] and can
+    /// be frozen into the sharded serving structures without re-learning.
+    ///
+    /// ```
+    /// use efd_core::{EfdDictionary, RoundingDepth};
+    /// use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
+    ///
+    /// let mut d = EfdDictionary::new(RoundingDepth::new(2));
+    /// d.insert_raw(MetricId(0), NodeId(0), Interval::PAPER_DEFAULT, 6020.0,
+    ///              &AppLabel::new("ft", "X"));
+    /// let parts = d.into_parts();
+    /// assert_eq!(parts.entries.len(), 1);
+    /// let back = EfdDictionary::from_parts(parts);
+    /// assert_eq!(back.len(), 1);
+    /// assert_eq!(back.app_names(), ["ft".to_string()]);
+    /// ```
+    pub fn into_parts(mut self) -> DictionaryParts {
+        let entries = self
+            .order
+            .iter()
+            .map(|fp| (*fp, self.map.remove(fp).expect("ordered key present")))
+            .collect();
+        DictionaryParts {
+            depth: self.depth,
+            entries,
+            labels: self.labels,
+            apps: self.apps,
+            label_app: self.label_app,
+        }
+    }
+
+    /// Clone-out variant of [`EfdDictionary::into_parts`] for dictionaries
+    /// that must stay live (e.g. still learning while a frozen copy is
+    /// published for serving). Copies only what the parts carry — the
+    /// interner lookup maps are not cloned.
+    pub fn to_parts(&self) -> DictionaryParts {
+        DictionaryParts {
+            depth: self.depth,
+            entries: self
+                .order
+                .iter()
+                .map(|fp| (*fp, self.map[fp].clone()))
+                .collect(),
+            labels: self.labels.clone(),
+            apps: self.apps.clone(),
+            label_app: self.label_app.clone(),
+        }
+    }
+
+    /// Rebuild a dictionary from [`DictionaryParts`].
+    ///
+    /// Insertion order — and therefore entry iteration order — is taken
+    /// from `parts.entries`. A fingerprint appearing in several entries
+    /// (hand-concatenated parts) **merges**: later label lists append to
+    /// the first occurrence, duplicates pruned, like repeated
+    /// [`EfdDictionary::insert_raw`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts are internally inconsistent: `label_app` not the
+    /// same length as `labels`, or an id in `entries`/`label_app` out of
+    /// range. Parts produced by [`EfdDictionary::into_parts`] are always
+    /// consistent.
+    pub fn from_parts(parts: DictionaryParts) -> Self {
+        assert_eq!(
+            parts.label_app.len(),
+            parts.labels.len(),
+            "label_app must map every label"
+        );
+        assert!(
+            parts.label_app.iter().all(|a| a.index() < parts.apps.len()),
+            "label_app id out of range"
+        );
+        let label_ids = parts
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), LabelId::from_index(i)))
+            .collect();
+        let app_ids = parts
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), AppNameId::from_index(i)))
+            .collect();
+        let mut map = FxHashMap::default();
+        let mut order = Vec::with_capacity(parts.entries.len());
+        for (fp, ids) in parts.entries {
+            assert!(
+                ids.iter().all(|id| id.index() < parts.labels.len()),
+                "entry label id out of range"
+            );
+            match map.entry(fp) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let list: &mut Vec<LabelId> = e.get_mut();
+                    for id in ids {
+                        if !list.contains(&id) {
+                            list.push(id);
+                        }
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    // Dedup within the list too: hand-built parts may
+                    // repeat an id, and no insert_raw history can produce
+                    // a key holding the same label twice.
+                    let mut list = Vec::with_capacity(ids.len());
+                    for id in ids {
+                        if !list.contains(&id) {
+                            list.push(id);
+                        }
+                    }
+                    e.insert(list);
+                    order.push(fp);
+                }
+            }
+        }
+        Self {
+            depth: parts.depth,
+            map,
+            order,
+            labels: parts.labels,
+            label_ids,
+            apps: parts.apps,
+            app_ids,
+            label_app: parts.label_app,
+        }
+    }
+
     /// Entries in insertion order: `(fingerprint, labels)`.
     pub fn entries(&self) -> impl Iterator<Item = (&Fingerprint, Vec<&AppLabel>)> + '_ {
         self.order.iter().map(move |fp| {
@@ -487,8 +750,65 @@ mod tests {
             r.verdict,
             Verdict::Ambiguous(vec!["sp".into(), "bt".into()])
         );
-        // The paper's evaluation rule scores the first element.
-        assert_eq!(r.best(), Some("sp"));
+        // best() breaks the tie deterministically: lexicographic minimum,
+        // independent of which app was learned first.
+        assert_eq!(r.best(), Some("bt"));
+    }
+
+    #[test]
+    fn best_tie_break_independent_of_learn_order() {
+        // Learn sp-then-bt and bt-then-sp: the Ambiguous arrays differ
+        // (first-learned order) but best() agrees.
+        let mut forward = EfdDictionary::new(RoundingDepth::new(2));
+        let mut reverse = EfdDictionary::new(RoundingDepth::new(2));
+        let means = [7617.0, 7520.0, 7520.0, 7121.0];
+        for (d, apps) in [(&mut forward, ["sp", "bt"]), (&mut reverse, ["bt", "sp"])] {
+            for app in apps {
+                for (n, &mean) in means.iter().enumerate() {
+                    d.insert_raw(M, NodeId(n as u16), W, mean, &lab(app, "X"));
+                }
+            }
+        }
+        let q = query([7601.0, 7512.0, 7533.0, 7098.0]);
+        let (f, r) = (forward.recognize(&q), reverse.recognize(&q));
+        assert_eq!(f.verdict, Verdict::Ambiguous(vec!["sp".into(), "bt".into()]));
+        assert_eq!(r.verdict, Verdict::Ambiguous(vec!["bt".into(), "sp".into()]));
+        assert_eq!(f.best(), Some("bt"));
+        assert_eq!(r.best(), Some("bt"));
+        // And the normalized forms are fully equal.
+        assert_eq!(f.normalized(), r.normalized());
+    }
+
+    #[test]
+    fn from_parts_merges_duplicate_fingerprints() {
+        // Hand-concatenated parts can repeat a key: later lists append to
+        // the first occurrence (deduped), like repeated insert_raw calls.
+        let d = toy_dict();
+        let mut parts = d.to_parts();
+        let fp = parts.entries[0].0; // 6000.0/node0, labels [ft X, ft Y]
+        let sp_id = LabelId::from_index(2); // "sp X" in toy_dict learn order
+        parts.entries.push((fp, vec![sp_id, LabelId::from_index(0)]));
+        let merged = EfdDictionary::from_parts(parts);
+        assert_eq!(merged.len(), d.len(), "no new key, merged in place");
+        let labels = merged.lookup(&fp).unwrap();
+        assert_eq!(
+            labels.iter().map(|l| l.to_string()).collect::<Vec<_>>(),
+            vec!["ft X", "ft Y", "sp X"]
+        );
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_everything() {
+        let d = toy_dict();
+        let q = query([7601.0, 7512.0, 7533.0, 7098.0]);
+        let before = d.recognize(&q);
+        let stats_before = d.stats();
+        let back = EfdDictionary::from_parts(d.into_parts());
+        assert_eq!(back.recognize(&q), before);
+        assert_eq!(back.stats(), stats_before);
+        // Entry iteration order survives the round trip.
+        let first = back.entries().next().unwrap();
+        assert_eq!(first.0.mean(), 6000.0);
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod rounding;
 pub mod serialize;
 pub mod training;
 
-pub use dictionary::{DictionaryStats, EfdDictionary, Recognition, Verdict};
+pub use dictionary::{
+    AppNameId, DictionaryParts, DictionaryStats, EfdDictionary, LabelId, Recognition, Verdict,
+};
 pub use fingerprint::Fingerprint;
 pub use observation::{LabeledObservation, ObsPoint, Query};
 pub use rounding::{round_to_depth, RoundingDepth};

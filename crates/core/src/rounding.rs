@@ -71,6 +71,23 @@ pub fn round_to_depth(v: f64, depth: u8) -> f64 {
 
 /// Validated rounding depth (1 ..= 17; 17 significant digits exceed f64
 /// decimal precision, i.e. identity).
+///
+/// The EFD's only tunable parameter (paper Table 1 / §4): how many
+/// significant decimal digits a window mean keeps before becoming a
+/// dictionary key. Low depth prunes aggressively (robust, collision-prone);
+/// high depth keeps precision (exclusive, repetition-poor).
+///
+/// ```
+/// use efd_core::RoundingDepth;
+///
+/// let depth = RoundingDepth::new(2);
+/// // Similar measurements fall onto the same key…
+/// assert_eq!(depth.round(6037.2), 6000.0);
+/// assert_eq!(depth.round(5980.4), 6000.0);
+/// // …while depth 3 keeps them apart (the paper's SP/BT fix).
+/// assert_ne!(RoundingDepth::new(3).round(6037.2), RoundingDepth::new(3).round(5980.4));
+/// assert!(RoundingDepth::try_new(0).is_none());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RoundingDepth(u8);
 

@@ -214,7 +214,8 @@ mod tests {
         let q = Query::from_node_means(m, Interval::PAPER_DEFAULT, &[7600.0, 7500.0, 7500.0, 7100.0]);
         let (a, b) = (d.recognize(&q), back.recognize(&q));
         assert_eq!(a.verdict, b.verdict);
-        assert_eq!(a.best(), Some("sp"));
+        // sp/bt tie: best() is the lexicographic minimum of the tied set.
+        assert_eq!(a.best(), Some("bt"));
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Batch recognition: fan a slice of queries out over worker threads.
+//!
+//! SIREN-style serving receives recognition work in batches (a scheduler
+//! tick, a telemetry flush), not one query at a time. [`BatchRecognizer`]
+//! answers a `&[Query]` with [`efd_util::parallel_map_init`]: dynamic
+//! load balancing (queries differ in node count and match rate), one
+//! [`crate::VoteScratch`] per worker, results in input order. Thread
+//! count follows `efd_util::num_threads` (`EFD_THREADS` overrides).
+
+use std::sync::Arc;
+
+use efd_core::{Query, Recognition};
+use efd_util::parallel_map_init;
+
+use crate::snapshot::Snapshot;
+use crate::votes::VoteScratch;
+
+/// Parallel batch front end over a published [`Snapshot`].
+///
+/// Cloning is cheap (an `Arc` bump); clones serve the same snapshot until
+/// one of them [`swap`](BatchRecognizer::swap)s in a newer publication.
+///
+/// ```
+/// use std::sync::Arc;
+/// use efd_core::{EfdDictionary, Query, RoundingDepth};
+/// use efd_serve::{BatchRecognizer, Snapshot};
+/// use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
+///
+/// let mut dict = EfdDictionary::new(RoundingDepth::new(2));
+/// dict.insert_raw(MetricId(0), NodeId(0), Interval::PAPER_DEFAULT, 6020.0,
+///                 &AppLabel::new("ft", "X"));
+/// let server = BatchRecognizer::new(Arc::new(Snapshot::freeze(&dict, 8)));
+///
+/// // 64 noisy queries; every mean still rounds to the 6000.0 key at depth 2.
+/// let batch: Vec<Query> = (0..64)
+///     .map(|i| Query::from_node_means(MetricId(0), Interval::PAPER_DEFAULT,
+///                                     &[5980.0 + (i % 60) as f64]))
+///     .collect();
+/// let answers = server.recognize_batch(&batch);
+/// assert_eq!(answers.len(), 64);
+/// assert!(answers.iter().all(|r| r.best() == Some("ft")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchRecognizer {
+    snapshot: Arc<Snapshot>,
+}
+
+impl BatchRecognizer {
+    /// Serve the given snapshot.
+    pub fn new(snapshot: Arc<Snapshot>) -> Self {
+        Self { snapshot }
+    }
+
+    /// The snapshot currently served.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
+    /// Swap in a newer publication. In-flight batches on other clones
+    /// finish against the snapshot they started with (RCU semantics).
+    pub fn swap(&mut self, snapshot: Arc<Snapshot>) {
+        self.snapshot = snapshot;
+    }
+
+    /// Recognize every query, in input order, across worker threads.
+    pub fn recognize_batch(&self, queries: &[Query]) -> Vec<Recognition> {
+        parallel_map_init(queries, VoteScratch::default, |scratch, q| {
+            self.snapshot.recognize_with(q, scratch)
+        })
+    }
+
+    /// Scored-verdict-only batch ([`efd_core::Recognition::best`] per
+    /// query): skips assembling full vote tables for endpoints that only
+    /// need the answer the paper's evaluation scores. The per-query hot
+    /// path is allocation-free ([`crate::Snapshot::best_with`]); only the
+    /// returned answers allocate.
+    pub fn best_batch(&self, queries: &[Query]) -> Vec<Option<String>> {
+        parallel_map_init(queries, VoteScratch::default, |scratch, q| {
+            self.snapshot.best_with(q, scratch).map(str::to_string)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efd_core::{EfdDictionary, LabeledObservation, RoundingDepth};
+    use efd_telemetry::{AppLabel, Interval, MetricId};
+
+    const M: MetricId = MetricId(0);
+    const W: Interval = Interval::PAPER_DEFAULT;
+
+    fn snapshot() -> Arc<Snapshot> {
+        let mut d = EfdDictionary::new(RoundingDepth::new(2));
+        for (app, mean) in [("ft", 6020.0), ("cg", 8110.0), ("lu", 4320.0)] {
+            d.learn(&LabeledObservation {
+                label: AppLabel::new(app, "X"),
+                query: Query::from_node_means(M, W, &[mean; 4]),
+            });
+        }
+        Arc::new(Snapshot::freeze(&d, 8))
+    }
+
+    #[test]
+    fn batch_matches_one_at_a_time() {
+        let server = BatchRecognizer::new(snapshot());
+        let batch: Vec<Query> = [6010.0, 8090.0, 4310.0, 1.0]
+            .iter()
+            .map(|&m| Query::from_node_means(M, W, &[m; 4]))
+            .collect();
+        let answers = server.recognize_batch(&batch);
+        assert_eq!(answers.len(), batch.len());
+        for (q, a) in batch.iter().zip(&answers) {
+            assert_eq!(a, &server.snapshot().recognize(q));
+        }
+        let bests = server.best_batch(&batch);
+        assert_eq!(
+            bests,
+            vec![Some("ft".into()), Some("cg".into()), Some("lu".into()), None]
+        );
+    }
+
+    #[test]
+    fn swap_publishes_new_snapshot() {
+        let mut server = BatchRecognizer::new(snapshot());
+        let q = Query::from_node_means(M, W, &[9990.0; 4]);
+        assert_eq!(server.recognize_batch(std::slice::from_ref(&q))[0].best(), None);
+
+        let mut d = server.snapshot().to_dictionary();
+        d.learn(&LabeledObservation {
+            label: AppLabel::new("kripke", "L"),
+            query: Query::from_node_means(M, W, &[9985.0; 4]),
+        });
+        server.swap(Arc::new(Snapshot::freeze(&d, 8)));
+        assert_eq!(
+            server.recognize_batch(std::slice::from_ref(&q))[0].best(),
+            Some("kripke")
+        );
+    }
+
+    #[test]
+    fn empty_batch() {
+        let server = BatchRecognizer::new(snapshot());
+        assert!(server.recognize_batch(&[]).is_empty());
+    }
+}

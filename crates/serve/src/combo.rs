@@ -1,0 +1,121 @@
+//! Served form of the conjunctive multi-metric dictionary.
+//!
+//! The paper's §6 future work combines several metrics into one
+//! fingerprint; [`efd_core::multi::ComboDictionary`] implements the
+//! conjunctive ("combinatorial hash") variant. [`ComboSnapshot`] freezes
+//! one behind an `Arc` so multi-metric voting works against the served
+//! form too: lock-free shared reads, deterministic
+//! [`Recognition::normalized`] answers, parallel batches.
+
+use std::sync::Arc;
+
+use efd_core::multi::ComboDictionary;
+use efd_core::{Query, Recognition};
+use efd_util::parallel_map;
+
+/// An immutable, shareable freeze of a [`ComboDictionary`].
+///
+/// `ComboDictionary::recognize` is already a `&self` read; what freezing
+/// adds is the serving contract — the inner dictionary can no longer be
+/// mutated, clones share it via `Arc`, and answers are normalized so they
+/// do not depend on the learn order of the frozen dictionary.
+#[derive(Debug, Clone)]
+pub struct ComboSnapshot {
+    inner: Arc<ComboDictionary>,
+}
+
+impl ComboSnapshot {
+    /// Freeze a learned combo dictionary for serving.
+    pub fn freeze(dict: ComboDictionary) -> Self {
+        Self {
+            inner: Arc::new(dict),
+        }
+    }
+
+    /// Number of conjunctive keys.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Recognize one query with conjunctive multi-metric keys, in
+    /// [`Recognition::normalized`] order.
+    pub fn recognize(&self, query: &Query) -> Recognition {
+        self.inner.recognize(query).normalized()
+    }
+
+    /// Recognize a batch across worker threads, results in input order.
+    pub fn recognize_batch(&self, queries: &[Query]) -> Vec<Recognition> {
+        parallel_map(queries, |q| self.recognize(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efd_core::observation::ObsPoint;
+    use efd_core::{LabeledObservation, RoundingDepth, Verdict};
+    use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
+
+    const M0: MetricId = MetricId(0);
+    const M1: MetricId = MetricId(1);
+    const W: Interval = Interval::PAPER_DEFAULT;
+
+    fn obs(app: &str, m0: [f64; 2], m1: [f64; 2]) -> LabeledObservation {
+        let mut q = Query::default();
+        for (n, (&a, &b)) in m0.iter().zip(m1.iter()).enumerate() {
+            for (metric, mean) in [(M0, a), (M1, b)] {
+                q.points.push(ObsPoint {
+                    metric,
+                    node: NodeId(n as u16),
+                    interval: W,
+                    mean,
+                });
+            }
+        }
+        LabeledObservation {
+            label: AppLabel::new(app, "X"),
+            query: q,
+        }
+    }
+
+    #[test]
+    fn served_combo_separates_single_metric_collisions() {
+        // sp/bt collide on metric 0, differ on metric 1 — the conjunctive
+        // key keeps them apart even through the served form.
+        let mut dict = ComboDictionary::new(vec![M0, M1], RoundingDepth::new(2));
+        dict.learn(&obs("sp", [7520.0, 7520.0], [4010.0, 4010.0]));
+        dict.learn(&obs("bt", [7520.0, 7520.0], [9020.0, 9020.0]));
+        let snap = ComboSnapshot::freeze(dict);
+        assert_eq!(snap.len(), 4);
+
+        let queries = vec![
+            obs("?", [7530.0, 7510.0], [4020.0, 3990.0]).query,
+            obs("?", [7530.0, 7510.0], [9010.0, 8990.0]).query,
+            obs("?", [7520.0, 7520.0], [6000.0, 6000.0]).query,
+        ];
+        let answers = snap.recognize_batch(&queries);
+        assert_eq!(answers[0].verdict, Verdict::Recognized("sp".into()));
+        assert_eq!(answers[1].verdict, Verdict::Recognized("bt".into()));
+        assert_eq!(answers[2].verdict, Verdict::Unknown);
+
+        // Batch answers equal one-at-a-time answers.
+        for (q, a) in queries.iter().zip(&answers) {
+            assert_eq!(a, &snap.recognize(q));
+        }
+    }
+
+    #[test]
+    fn clones_share_the_frozen_dictionary() {
+        let mut dict = ComboDictionary::new(vec![M0], RoundingDepth::new(2));
+        dict.learn(&obs("ft", [6020.0, 6020.0], [0.0, 0.0]));
+        let snap = ComboSnapshot::freeze(dict);
+        let clone = snap.clone();
+        assert_eq!(snap.len(), clone.len());
+        assert!(!clone.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! # efd-serve — concurrent recognition serving over the EFD core
+//!
+//! The paper's dictionary lookup is O(1) per query point (§4: "we continue
+//! with low complexity by relying on dictionary-based matching of
+//! fingerprints with rounded values"), but [`efd_core::EfdDictionary`] is a
+//! single-writer structure: `learn` takes `&mut self`, and every
+//! `recognize` allocates per-query vote maps. That is the right shape for
+//! reproducing Tables 2–4 and the wrong shape for an always-on recognition
+//! service fed by streams of jobs (SIREN frames recognition exactly that
+//! way). This crate is the serving layer:
+//!
+//! * [`ShardedDictionary`] — the **live** form: fingerprint keys are
+//!   partitioned across N shards by hash (`efd_util::hash`), writers lock
+//!   one shard at a time, and readers recognize concurrently under
+//!   per-shard `RwLock`s. Many threads can learn and recognize at once.
+//! * [`Snapshot`] — the **published** form: an immutable, `Arc`-shareable
+//!   freeze of a dictionary. Reads are lock-free; recognition uses dense
+//!   per-thread vote counters instead of per-query hash maps, so the
+//!   single-query path is also measurably faster than the core oracle
+//!   (see the `perf_serving` bench).
+//! * [`BatchRecognizer`] — fans a `&[Query]` out over
+//!   [`efd_util::parallel_map_init`] with per-thread scratch, answering
+//!   batches at full hardware parallelism.
+//! * [`ComboSnapshot`] — the served form of
+//!   [`efd_core::multi::ComboDictionary`]: conjunctive multi-metric voting
+//!   against an immutable snapshot.
+//! * [`OnlineSession`] — the served form of
+//!   [`efd_core::online::OnlineRecognizer`]: a `'static` streaming session
+//!   holding an `Arc<Snapshot>`, so live jobs keep recognizing while the
+//!   dictionary behind them is re-published.
+//!
+//! ## Equivalence contract
+//!
+//! Serving must not change answers. Every recognition produced here equals
+//! the single-threaded [`efd_core::EfdDictionary`] oracle on the same
+//! entries, modulo the deterministic ordering of
+//! [`efd_core::Recognition::normalized`] — the concurrency tests assert
+//! exactly that, and [`efd_core::Recognition::best`] breaks ties without
+//! reference to learn order, so concurrent learning cannot skew scoring.
+//!
+//! ## Typical lifecycle
+//!
+//! ```text
+//! EfdDictionary --to_parts()--> DictionaryParts --freeze--> Snapshot --Arc--> BatchRecognizer
+//!        ^                                                     |
+//!        |                     ShardedDictionary --snapshot()--+
+//!        |                        ^  (concurrent learn)
+//!        +---- to_dictionary() ---+
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batch;
+pub mod combo;
+pub mod online;
+pub mod shard;
+pub mod snapshot;
+pub mod votes;
+
+pub use batch::BatchRecognizer;
+pub use combo::ComboSnapshot;
+pub use online::OnlineSession;
+pub use shard::ShardedDictionary;
+pub use snapshot::Snapshot;
+pub use votes::VoteScratch;
+
+use efd_core::Fingerprint;
+use efd_util::FxHasher;
+use std::hash::{Hash, Hasher};
+
+/// Upper bound on shard counts (2^16); beyond this the per-shard maps are
+/// so small that partitioning overhead dominates.
+pub const MAX_SHARD_BITS: u32 = 16;
+
+/// Number of shard-index bits for a requested shard count: the exponent of
+/// the next power of two, clamped to `[0, MAX_SHARD_BITS]` (0 bits = 1
+/// shard).
+pub(crate) fn shard_bits_for(requested: usize) -> u32 {
+    requested
+        .clamp(1, 1 << MAX_SHARD_BITS)
+        .next_power_of_two()
+        .trailing_zeros()
+}
+
+/// Shard index of a fingerprint: the top `bits` bits of its FxHash.
+///
+/// The *top* bits are used so shard selection stays decorrelated from the
+/// in-shard `FxHashMap` bucket index, which consumes the low bits of the
+/// same hash.
+pub(crate) fn shard_of(fp: &Fingerprint, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    let mut h = FxHasher::default();
+    fp.hash(&mut h);
+    (h.finish() >> (64 - bits)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efd_telemetry::{Interval, MetricId, NodeId};
+
+    #[test]
+    fn shard_bits_round_up_and_clamp() {
+        assert_eq!(shard_bits_for(0), 0);
+        assert_eq!(shard_bits_for(1), 0);
+        assert_eq!(shard_bits_for(2), 1);
+        assert_eq!(shard_bits_for(3), 2);
+        assert_eq!(shard_bits_for(8), 3);
+        assert_eq!(shard_bits_for(usize::MAX), MAX_SHARD_BITS);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let fp = Fingerprint::from_rounded(MetricId(3), NodeId(1), Interval::PAPER_DEFAULT, 6000.0);
+        assert_eq!(shard_of(&fp, 0), 0);
+        for bits in 1..=8u32 {
+            let s = shard_of(&fp, bits);
+            assert!(s < (1 << bits));
+            assert_eq!(s, shard_of(&fp, bits), "deterministic");
+        }
+    }
+
+    #[test]
+    fn shards_spread_nearby_keys() {
+        // Sequential node ids / means must not all land in one shard.
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..64u16 {
+            let fp = Fingerprint::from_rounded(
+                MetricId(0),
+                NodeId(n),
+                Interval::PAPER_DEFAULT,
+                6000.0,
+            );
+            seen.insert(shard_of(&fp, 3));
+        }
+        assert!(seen.len() >= 4, "only {} of 8 shards used", seen.len());
+    }
+}

@@ -1,0 +1,241 @@
+//! Served streaming recognition.
+//!
+//! [`efd_core::online::OnlineRecognizer`] borrows its dictionary
+//! (`&'d EfdDictionary`), which pins a streaming session to one thread
+//! and one dictionary for its whole life — fine in a lab harness,
+//! unusable in a service where thousands of live jobs stream samples
+//! while the dictionary keeps learning. [`OnlineSession`] is the served
+//! variant: it holds an `Arc<`[`Snapshot`]`>`, so sessions are `'static`
+//! and `Send` (they can live in a session table, migrate across worker
+//! threads) and can [`OnlineSession::swap`] to a newer publication
+//! mid-stream — the verdict then reflects the latest learned state.
+//!
+//! Same memory contract as the core recognizer: no raw series are
+//! buffered, memory is O(nodes × metrics).
+
+use std::sync::Arc;
+
+use efd_telemetry::streaming::MultiWindowAggregator;
+use efd_telemetry::{Interval, MetricId, NodeId};
+use efd_util::FxHashMap;
+
+use efd_core::{ObsPoint, Query, Recognition};
+
+use crate::snapshot::Snapshot;
+
+/// A `'static`, snapshot-backed streaming recognition session.
+///
+/// Feed samples as they arrive; the session emits its verdict exactly
+/// once, the moment the last fingerprint window closes (the paper's
+/// "within the first two minutes, while the job is still running").
+#[derive(Debug, Clone)]
+pub struct OnlineSession {
+    snapshot: Arc<Snapshot>,
+    intervals: Vec<Interval>,
+    aggs: FxHashMap<(NodeId, MetricId), MultiWindowAggregator>,
+    points: Vec<ObsPoint>,
+    expected_summaries: usize,
+    emitted: bool,
+}
+
+impl OnlineSession {
+    /// Set up streams for `nodes × metrics`, fingerprinting `intervals`,
+    /// against a published snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is empty.
+    pub fn new(
+        snapshot: Arc<Snapshot>,
+        metrics: &[MetricId],
+        nodes: &[NodeId],
+        intervals: Vec<Interval>,
+    ) -> Self {
+        assert!(!intervals.is_empty(), "no fingerprint intervals");
+        let mut aggs = FxHashMap::default();
+        for &n in nodes {
+            for &m in metrics {
+                aggs.insert((n, m), MultiWindowAggregator::new(intervals.clone()));
+            }
+        }
+        let expected_summaries = nodes.len() * metrics.len() * intervals.len();
+        Self {
+            snapshot,
+            intervals,
+            aggs,
+            points: Vec::new(),
+            expected_summaries,
+            emitted: false,
+        }
+    }
+
+    /// Seconds after which all windows have closed (worst case).
+    pub fn horizon_s(&self) -> u32 {
+        self.intervals.iter().map(|iv| iv.end).max().unwrap_or(0)
+    }
+
+    /// The snapshot verdicts are currently computed against.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
+    /// Point the session at a newer publication. Window means collected so
+    /// far are kept — only the dictionary behind the verdict changes.
+    pub fn swap(&mut self, snapshot: Arc<Snapshot>) {
+        self.snapshot = snapshot;
+    }
+
+    /// Feed one sample. Returns the final recognition exactly once — when
+    /// the last open window across all streams closes. Samples for
+    /// undeclared `(node, metric)` streams are ignored.
+    pub fn push(
+        &mut self,
+        node: NodeId,
+        metric: MetricId,
+        t: u32,
+        value: f64,
+    ) -> Option<Recognition> {
+        if self.emitted {
+            return None;
+        }
+        let agg = self.aggs.get_mut(&(node, metric))?;
+        for summary in agg.push(t, value) {
+            self.points.push(ObsPoint {
+                metric,
+                node,
+                interval: summary.interval,
+                mean: summary.mean(),
+            });
+        }
+        if self.points.len() >= self.expected_summaries {
+            self.emitted = true;
+            return Some(self.recognize_now());
+        }
+        None
+    }
+
+    /// Recognition over the windows closed *so far* (early peek; may be
+    /// `Unknown` simply because no window has closed yet).
+    pub fn current(&self) -> Recognition {
+        self.recognize_now()
+    }
+
+    /// Number of window means collected so far.
+    pub fn collected(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Force a verdict from whatever has been collected, flushing all
+    /// still-open windows (job ended early).
+    pub fn finish(&mut self) -> Recognition {
+        if !self.emitted {
+            let mut flushed: Vec<ObsPoint> = Vec::new();
+            for ((node, metric), agg) in self.aggs.iter_mut() {
+                for summary in agg.finish() {
+                    flushed.push(ObsPoint {
+                        metric: *metric,
+                        node: *node,
+                        interval: summary.interval,
+                        mean: summary.mean(),
+                    });
+                }
+            }
+            self.points.extend(flushed);
+            self.emitted = true;
+        }
+        self.recognize_now()
+    }
+
+    fn recognize_now(&self) -> Recognition {
+        let q = Query {
+            points: self.points.clone(),
+        };
+        self.snapshot.recognize(&q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efd_core::{EfdDictionary, LabeledObservation, RoundingDepth, Verdict};
+    use efd_telemetry::AppLabel;
+
+    const M: MetricId = MetricId(0);
+    const W: Interval = Interval::PAPER_DEFAULT;
+
+    fn snapshot_with(apps: &[(&str, f64)]) -> Arc<Snapshot> {
+        let mut d = EfdDictionary::new(RoundingDepth::new(2));
+        for &(app, mean) in apps {
+            d.learn(&LabeledObservation {
+                label: AppLabel::new(app, "X"),
+                query: Query::from_node_means(M, W, &[mean, mean]),
+            });
+        }
+        Arc::new(Snapshot::freeze(&d, 4))
+    }
+
+    #[test]
+    fn emits_once_when_window_closes() {
+        let snap = snapshot_with(&[("ft", 6000.0)]);
+        let mut s = OnlineSession::new(snap, &[M], &[NodeId(0), NodeId(1)], vec![W]);
+        assert_eq!(s.horizon_s(), 120);
+        let mut verdict = None;
+        for t in 0..=150u32 {
+            for n in [NodeId(0), NodeId(1)] {
+                let v = if t < 60 { 50_000.0 } else { 6010.0 };
+                if let Some(r) = s.push(n, M, t, v) {
+                    assert!(verdict.is_none(), "double emit");
+                    verdict = Some((t, r));
+                }
+            }
+        }
+        let (t, r) = verdict.expect("no verdict by horizon");
+        assert_eq!(t, 120);
+        assert_eq!(r.verdict, Verdict::Recognized("ft".into()));
+    }
+
+    #[test]
+    fn session_is_send_and_static() {
+        // The whole point of the served variant: sessions can move to
+        // another thread while streaming.
+        let snap = snapshot_with(&[("ft", 6000.0)]);
+        let mut s = OnlineSession::new(snap, &[M], &[NodeId(0)], vec![W]);
+        for t in 0..90u32 {
+            s.push(NodeId(0), M, t, 6005.0);
+        }
+        let handle = std::thread::spawn(move || s.finish());
+        let r = handle.join().expect("session thread");
+        assert_eq!(r.verdict, Verdict::Recognized("ft".into()));
+    }
+
+    #[test]
+    fn swap_mid_stream_uses_newer_dictionary() {
+        // Stream an app the first publication does not know yet.
+        let before = snapshot_with(&[("ft", 6000.0)]);
+        let mut s = OnlineSession::new(before, &[M], &[NodeId(0)], vec![W]);
+        for t in 0..100u32 {
+            s.push(NodeId(0), M, t, 8110.0);
+        }
+        assert_eq!(s.finish().verdict, Verdict::Unknown);
+
+        // Same stream, but the dictionary learned "cg" mid-flight.
+        let before = snapshot_with(&[("ft", 6000.0)]);
+        let mut s = OnlineSession::new(before, &[M], &[NodeId(0)], vec![W]);
+        for t in 0..100u32 {
+            s.push(NodeId(0), M, t, 8110.0);
+            if t == 50 {
+                s.swap(snapshot_with(&[("ft", 6000.0), ("cg", 8110.0)]));
+            }
+        }
+        assert_eq!(s.finish().verdict, Verdict::Recognized("cg".into()));
+    }
+
+    #[test]
+    fn undeclared_stream_ignored() {
+        let snap = snapshot_with(&[("ft", 6000.0)]);
+        let mut s = OnlineSession::new(snap, &[M], &[NodeId(0)], vec![W]);
+        assert!(s.push(NodeId(9), M, 0, 1.0).is_none());
+        assert_eq!(s.collected(), 0);
+        assert_eq!(s.current().verdict, Verdict::Unknown);
+    }
+}

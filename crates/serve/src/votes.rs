@@ -1,0 +1,224 @@
+//! Dense vote accumulation shared by the serving read paths.
+//!
+//! The core oracle ([`efd_core::EfdDictionary::recognize`]) allocates two
+//! fresh hash maps per query to count votes. At serving rates that
+//! allocation (and the re-hashing of every vote) dominates the O(1)
+//! dictionary probes, so the served paths count votes in **dense arrays
+//! indexed by interned id** instead, with a `touched` list for O(votes)
+//! reset. One [`VoteScratch`] lives per worker thread and is reused across
+//! every query that thread answers.
+
+use efd_core::dictionary::{AppNameId, LabelId, Recognition, Verdict};
+use efd_telemetry::AppLabel;
+
+/// Reusable per-thread vote counters.
+///
+/// Opaque to callers: construct with `Default` and pass to
+/// [`crate::Snapshot::recognize_with`] to amortize allocations across
+/// queries. [`crate::BatchRecognizer`] manages one per worker thread
+/// automatically.
+#[derive(Debug, Default, Clone)]
+pub struct VoteScratch {
+    /// Vote count per `LabelId` index; zero except for touched ids.
+    label_counts: Vec<u32>,
+    /// Vote count per `AppNameId` index; zero except for touched ids.
+    app_counts: Vec<u32>,
+    touched_labels: Vec<LabelId>,
+    touched_apps: Vec<AppNameId>,
+    /// Apps already credited for the current point (one vote per app per
+    /// matched point, however many inputs share the entry).
+    point_apps: Vec<AppNameId>,
+}
+
+impl VoteScratch {
+    /// Grow the dense counters to cover `labels`/`apps` interned ids.
+    /// Counters keep their (all-zero) state; growth never clears votes.
+    pub(crate) fn ensure(&mut self, labels: usize, apps: usize) {
+        if self.label_counts.len() < labels {
+            self.label_counts.resize(labels, 0);
+        }
+        if self.app_counts.len() < apps {
+            self.app_counts.resize(apps, 0);
+        }
+    }
+
+    /// One vote for a label.
+    #[inline]
+    pub(crate) fn vote_label(&mut self, id: LabelId) {
+        let c = &mut self.label_counts[id.index()];
+        if *c == 0 {
+            self.touched_labels.push(id);
+        }
+        *c += 1;
+    }
+
+    /// One vote for an application (caller guarantees per-point dedup, or
+    /// uses [`VoteScratch::begin_point`]/[`VoteScratch::vote_app_deduped`]).
+    #[inline]
+    pub(crate) fn vote_app(&mut self, id: AppNameId) {
+        let c = &mut self.app_counts[id.index()];
+        if *c == 0 {
+            self.touched_apps.push(id);
+        }
+        *c += 1;
+    }
+
+    /// Reset the per-point app dedup set.
+    #[inline]
+    pub(crate) fn begin_point(&mut self) {
+        self.point_apps.clear();
+    }
+
+    /// Vote for an app at most once per point (mirrors the oracle's
+    /// `entry_apps` dedup for entries whose labels share an application).
+    #[inline]
+    pub(crate) fn vote_app_deduped(&mut self, id: AppNameId) {
+        if !self.point_apps.contains(&id) {
+            self.point_apps.push(id);
+            self.vote_app(id);
+        }
+    }
+
+    /// Drain the accumulated **app** votes into the answer the paper's
+    /// evaluation scores ([`Recognition::best`]): the most-voted
+    /// application, breaking ties by lexicographically smallest name.
+    /// `None` when nothing matched. Resets the scratch; never allocates.
+    pub(crate) fn finish_best<'a>(&mut self, apps: &'a [String]) -> Option<&'a str> {
+        let mut top = 0u32;
+        let mut best: Option<&'a str> = None;
+        for &id in &self.touched_apps {
+            let votes = self.app_counts[id.index()];
+            let name = apps[id.index()].as_str();
+            if votes > top || (votes == top && best.is_some_and(|b| name < b)) {
+                top = votes;
+                best = Some(name);
+            }
+        }
+        for id in self.touched_apps.drain(..) {
+            self.app_counts[id.index()] = 0;
+        }
+        for id in self.touched_labels.drain(..) {
+            self.label_counts[id.index()] = 0;
+        }
+        best
+    }
+
+    /// Drain the accumulated votes into a [`Recognition`] in
+    /// [`Recognition::normalized`] order, resetting the scratch for the
+    /// next query. `labels`/`apps` resolve interned ids to names.
+    pub(crate) fn finish(
+        &mut self,
+        labels: &[AppLabel],
+        apps: &[String],
+        matched_points: usize,
+        total_points: usize,
+    ) -> Recognition {
+        let mut app_votes: Vec<(String, u32)> = Vec::with_capacity(self.touched_apps.len());
+        for id in self.touched_apps.drain(..) {
+            let c = &mut self.app_counts[id.index()];
+            app_votes.push((apps[id.index()].clone(), *c));
+            *c = 0;
+        }
+        let mut label_votes: Vec<(AppLabel, u32)> = Vec::with_capacity(self.touched_labels.len());
+        for id in self.touched_labels.drain(..) {
+            let c = &mut self.label_counts[id.index()];
+            label_votes.push((labels[id.index()].clone(), *c));
+            *c = 0;
+        }
+
+        // Sort once, directly in the normalized order (same comparators as
+        // `Recognition::normalized`, which is then a no-op on this value).
+        app_votes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        label_votes.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| (&a.0.app, &a.0.input).cmp(&(&b.0.app, &b.0.input)))
+        });
+
+        let verdict = match app_votes.first() {
+            None => Verdict::Unknown,
+            Some(&(_, top)) => {
+                // The tied prefix is already name-sorted.
+                let mut tied: Vec<String> = app_votes
+                    .iter()
+                    .take_while(|&&(_, v)| v == top)
+                    .map(|(a, _)| a.clone())
+                    .collect();
+                if tied.len() == 1 {
+                    Verdict::Recognized(tied.pop().expect("one tied app"))
+                } else {
+                    Verdict::Ambiguous(tied)
+                }
+            }
+        };
+
+        Recognition {
+            verdict,
+            app_votes,
+            label_votes,
+            matched_points,
+            total_points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab(app: &str, input: &str) -> AppLabel {
+        AppLabel::new(app, input)
+    }
+
+    #[test]
+    fn finish_resets_for_reuse() {
+        let labels = [lab("sp", "X"), lab("bt", "X")];
+        let apps = ["sp".to_string(), "bt".to_string()];
+        let mut s = VoteScratch::default();
+        s.ensure(2, 2);
+        s.begin_point();
+        s.vote_label(LabelId::from_index(0));
+        s.vote_app_deduped(AppNameId::from_index(0));
+        let r = s.finish(&labels, &apps, 1, 1);
+        assert_eq!(r.verdict, Verdict::Recognized("sp".into()));
+
+        // Second use sees a clean slate.
+        let r = s.finish(&labels, &apps, 0, 3);
+        assert_eq!(r.verdict, Verdict::Unknown);
+        assert!(r.app_votes.is_empty());
+        assert_eq!(r.total_points, 3);
+    }
+
+    #[test]
+    fn per_point_app_dedup() {
+        // Two inputs of the same app on one entry: one app vote.
+        let labels = [lab("ft", "X"), lab("ft", "Y")];
+        let apps = ["ft".to_string()];
+        let mut s = VoteScratch::default();
+        s.ensure(2, 1);
+        s.begin_point();
+        for i in 0..2 {
+            s.vote_label(LabelId::from_index(i));
+            s.vote_app_deduped(AppNameId::from_index(0));
+        }
+        let r = s.finish(&labels, &apps, 1, 1);
+        assert_eq!(r.app_votes, vec![("ft".into(), 1)]);
+        assert_eq!(r.label_votes.len(), 2);
+    }
+
+    #[test]
+    fn tie_produces_sorted_ambiguous() {
+        let labels = [lab("sp", "X"), lab("bt", "X")];
+        let apps = ["sp".to_string(), "bt".to_string()];
+        let mut s = VoteScratch::default();
+        s.ensure(2, 2);
+        for i in 0..2 {
+            s.begin_point();
+            s.vote_label(LabelId::from_index(i));
+            s.vote_app_deduped(AppNameId::from_index(i));
+        }
+        let r = s.finish(&labels, &apps, 2, 2);
+        // normalized(): lexicographic tie array.
+        assert_eq!(r.verdict, Verdict::Ambiguous(vec!["bt".into(), "sp".into()]));
+        assert_eq!(r.best(), Some("bt"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Batch serving: freeze a trained dictionary, answer query streams.
+//!
+//! ```sh
+//! cargo run --release --example batch_serving
+//! ```
+//!
+//! The serving lifecycle on top of the paper's pipeline: train an EFD on
+//! the synthetic dataset, freeze it into an immutable sharded
+//! [`Snapshot`], fan a 10 000-query stream over worker threads with
+//! [`BatchRecognizer`], then learn a *new* application concurrently in a
+//! [`ShardedDictionary`] and re-publish — the paper's "learning new
+//! applications is as simple as adding new keys", done live.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use efd::prelude::*;
+use efd_telemetry::catalog::small_catalog;
+use efd_util::SplitMix64;
+
+fn main() {
+    // Train exactly like the quickstart: one metric, first two minutes.
+    let dataset = Dataset::with_catalog(DatasetSpec::default(), small_catalog());
+    let metric = dataset.catalog().id("nr_mapped_vmstat").unwrap();
+    let selection = MetricSelection::single(metric);
+    let traces: Vec<ExecutionTrace> = (0..dataset.len())
+        .map(|i| dataset.materialize_prefix(i, &selection, 120))
+        .collect();
+    let efd = Efd::fit_traces(EfdConfig::single_metric(metric), &traces);
+    let dict = efd.dictionary();
+    println!(
+        "trained: {} keys, depth {}, {} apps",
+        dict.len(),
+        efd.depth(),
+        dict.app_names().len()
+    );
+
+    // Freeze into 8 shards and publish. The dictionary itself stays
+    // usable; the snapshot is the immutable serving artifact.
+    let snapshot = Arc::new(Snapshot::freeze(dict, 8));
+    let sizes = snapshot.shard_sizes();
+    println!(
+        "published: {} shards, keys/shard min {} max {}",
+        snapshot.shard_count(),
+        sizes.iter().min().unwrap(),
+        sizes.iter().max().unwrap()
+    );
+
+    // A 10k-query stream: the dataset's runs with small jitter.
+    let mut rng = SplitMix64::new(7);
+    let base: Vec<Query> = traces
+        .iter()
+        .map(|t| Query::from_trace(t, &[metric], &[Interval::PAPER_DEFAULT]))
+        .collect();
+    let stream: Vec<Query> = (0..10_000)
+        .map(|i| {
+            let mut q = base[i % base.len()].clone();
+            for p in &mut q.points {
+                p.mean *= 1.0 + (rng.next_f64() - 0.5) * 0.004;
+            }
+            q
+        })
+        .collect();
+
+    let server = BatchRecognizer::new(Arc::clone(&snapshot));
+    let t = Instant::now();
+    let answers = server.recognize_batch(&stream);
+    let dt = t.elapsed();
+    let recognized = answers.iter().filter(|r| r.best().is_some()).count();
+    println!(
+        "served: {} queries in {:.1} ms ({:.0} q/s), {recognized} recognized",
+        stream.len(),
+        dt.as_secs_f64() * 1e3,
+        stream.len() as f64 / dt.as_secs_f64()
+    );
+    assert!(recognized * 10 >= stream.len() * 9, "jitter broke recognition");
+
+    // Live learning: thaw into a sharded dictionary, learn a brand-new
+    // app from two threads, re-publish, swap it into the server.
+    let sharded = ShardedDictionary::from_parts(snapshot.to_dictionary().into_parts(), 8);
+    let novel = Query::from_node_means(metric, Interval::PAPER_DEFAULT, &[123_456.0; 4]);
+    std::thread::scope(|s| {
+        for input in ["X", "Y"] {
+            let sharded = &sharded;
+            let novel = &novel;
+            s.spawn(move || {
+                sharded.learn(&LabeledObservation {
+                    label: AppLabel::new("newapp", input),
+                    query: novel.clone(),
+                });
+            });
+        }
+    });
+    let mut server = server;
+    server.swap(Arc::new(sharded.snapshot()));
+    let verdict = server.recognize_batch(std::slice::from_ref(&novel));
+    assert_eq!(verdict[0].best(), Some("newapp"));
+    println!(
+        "re-published: {} keys after learning 'newapp' live; verdict = {:?}",
+        server.snapshot().len(),
+        verdict[0].verdict
+    );
+}

@@ -20,16 +20,21 @@
 //!   scikit-learn-compatible classification metrics.
 //! * [`eval`] (`efd-eval`) — the paper's five experiments, Table 3
 //!   screening, and paper-vs-measured reporting.
+//! * [`serve`] (`efd-serve`) — the concurrent serving layer: sharded
+//!   dictionaries, immutable published snapshots, parallel batch and
+//!   streaming recognition.
 //! * [`util`] (`efd-util`) — hashing, RNG derivation, online statistics,
 //!   scoped-thread parallelism, text tables.
 //!
-//! See `README.md` for a tour and `examples/` for runnable scenarios.
+//! See `README.md` for a tour, `ARCHITECTURE.md` for the crate map and
+//! data flow, and `examples/` for runnable scenarios.
 
 #![warn(rust_2018_idioms)]
 
 pub use efd_core as core;
 pub use efd_eval as eval;
 pub use efd_ml as ml;
+pub use efd_serve as serve;
 pub use efd_telemetry as telemetry;
 pub use efd_util as util;
 pub use efd_workload as workload;
@@ -42,6 +47,7 @@ pub mod prelude {
     pub use efd_core::online::OnlineRecognizer;
     pub use efd_core::rounding::{round_to_depth, RoundingDepth};
     pub use efd_core::training::{DepthPolicy, Efd, EfdConfig};
+    pub use efd_serve::{BatchRecognizer, OnlineSession, ShardedDictionary, Snapshot};
     pub use efd_telemetry::trace::{ExecutionTrace, MetricSelection, NodeTrace};
     pub use efd_telemetry::{AppLabel, Interval, MetricCatalog, MetricId, NodeId, TimeSeries};
     pub use efd_workload::{AppId, Dataset, DatasetSpec, InputSize, SubsetKind};
