@@ -1,0 +1,177 @@
+//! Persistence: JSON text parse vs EFDB binary load, across dictionary
+//! sizes.
+//!
+//! The EFDB acceptance claim, quantified: build synthetic dictionaries
+//! with 1k / 10k / 100k keys, dump each as pretty JSON
+//! ([`efd_core::serialize`]) and as EFDB ([`efd_core::binfmt`]), and
+//! time the *load* paths a serving cold-start would take:
+//!
+//! * `json_parse`   — [`efd_core::serialize::from_json`] (text parse +
+//!   re-insert, today's path);
+//! * `efdb_dict`    — [`efd_core::binfmt::read_dictionary`] (validated
+//!   binary decode + thaw into an [`efd_core::EfdDictionary`]);
+//! * `efdb_snapshot`— [`efd_core::binfmt::read`] +
+//!   [`efd_serve::Snapshot::from_efdb`] (the zero-intermediate serve
+//!   path: bytes → decoded sections → published snapshot).
+//!
+//! Acceptance: EFDB load ≥ 5× faster than JSON parse on the 10k-key
+//! dictionary, and every restored form answers a 1 000-query batch
+//! identically to the original.
+//!
+//! Knobs: `EFD_PERSIST_REPS` (default 5, best-of-N wall clock),
+//! `EFD_PERSIST_MAX` (default 100000, trims the size sweep).
+
+use std::time::Instant;
+
+use criterion::black_box;
+use efd_core::observation::{ObsPoint, Query};
+use efd_core::{binfmt, serialize, EfdDictionary, RoundingDepth};
+use efd_serve::Snapshot;
+use efd_telemetry::catalog::taxonomist_catalog;
+use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
+use efd_util::{SplitMix64, TextTable};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn time_best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Key `i`'s mean: unique at rounding depth 6, so a dictionary of `keys`
+/// inserts holds exactly `keys` entries.
+fn key_mean(i: usize) -> f64 {
+    100_000.0 + i as f64
+}
+
+/// Synthetic dictionary with exactly `keys` entries spread over 32
+/// metrics × 64 nodes, 50 apps × 4 input sizes.
+fn build_dict(keys: usize, metrics: &[MetricId]) -> EfdDictionary {
+    const INPUTS: [&str; 4] = ["X", "Y", "Z", "L"];
+    let mut dict = EfdDictionary::new(RoundingDepth::new(6));
+    for i in 0..keys {
+        let label = AppLabel::new(format!("app{:03}", i % 50), INPUTS[(i / 50) % 4]);
+        dict.insert_raw(
+            metrics[i % metrics.len()],
+            NodeId(((i / metrics.len()) % 64) as u16),
+            Interval::PAPER_DEFAULT,
+            key_mean(i),
+            &label,
+        );
+    }
+    dict
+}
+
+/// 8-point queries over random keys; ~10% of the indices fall past the
+/// learned range and miss (the Unknown path must round-trip too).
+fn query_batch(n: usize, keys: usize, metrics: &[MetricId]) -> Vec<Query> {
+    let mut rng = SplitMix64::new(0xEFDB);
+    (0..n)
+        .map(|_| {
+            let points = (0..8)
+                .map(|_| {
+                    let i = (rng.next_u64() as usize) % (keys + keys / 10);
+                    ObsPoint {
+                        metric: metrics[i % metrics.len()],
+                        node: NodeId(((i / metrics.len()) % 64) as u16),
+                        interval: Interval::PAPER_DEFAULT,
+                        mean: key_mean(i),
+                    }
+                })
+                .collect();
+            Query { points }
+        })
+        .collect()
+}
+
+fn main() {
+    let reps = env_usize("EFD_PERSIST_REPS", 5);
+    let max_keys = env_usize("EFD_PERSIST_MAX", 100_000);
+
+    let catalog = taxonomist_catalog();
+    let metrics: Vec<MetricId> = catalog.ids().take(32).collect();
+
+    let mut table = TextTable::new(vec![
+        "keys",
+        "json bytes",
+        "efdb bytes",
+        "json parse ms",
+        "efdb dict ms",
+        "efdb snapshot ms",
+        "load speedup",
+    ])
+    .with_title("Persistence: JSON parse vs EFDB load (best-of-N)".to_string());
+
+    let mut speedup_at_10k = 0.0f64;
+    let mut equivalence_ok = true;
+    for keys in [1_000usize, 10_000, 100_000] {
+        if keys > max_keys {
+            continue;
+        }
+        let dict = build_dict(keys, &metrics);
+        assert_eq!(dict.len(), keys, "synthetic keys must be distinct");
+
+        let json = serialize::to_json(&dict, &catalog);
+        let bytes = binfmt::write_dictionary(&dict, &catalog);
+
+        let t_json = time_best_of(reps, || {
+            black_box(serialize::from_json(&json, &catalog).unwrap().len());
+        });
+        let t_efdb = time_best_of(reps, || {
+            black_box(binfmt::read_dictionary(&bytes, &catalog).unwrap().len());
+        });
+        let t_snap = time_best_of(reps, || {
+            let efdb = binfmt::read(&bytes).unwrap();
+            black_box(Snapshot::from_efdb(&efdb, &catalog, 8).unwrap().len());
+        });
+
+        let speedup = t_json / t_efdb;
+        if keys == 10_000 {
+            speedup_at_10k = speedup;
+        }
+
+        // Round-trip equivalence on a 1k-query batch: JSON-restored,
+        // EFDB-restored, and the served snapshot all answer like the
+        // original.
+        let via_json = serialize::from_json(&json, &catalog).unwrap();
+        let via_efdb = binfmt::read_dictionary(&bytes, &catalog).unwrap();
+        let snap = Snapshot::from_efdb(&binfmt::read(&bytes).unwrap(), &catalog, 8).unwrap();
+        for q in query_batch(1_000, keys, &metrics) {
+            let expect = dict.recognize(&q);
+            equivalence_ok &= via_json.recognize(&q) == expect;
+            equivalence_ok &= via_efdb.recognize(&q) == expect;
+            equivalence_ok &= snap.recognize(&q) == expect.normalized();
+        }
+
+        table.add_row(vec![
+            keys.to_string(),
+            json.len().to_string(),
+            bytes.len().to_string(),
+            format!("{:.2}", t_json * 1e3),
+            format!("{:.2}", t_efdb * 1e3),
+            format!("{:.2}", t_snap * 1e3),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("\nacceptance:");
+    println!(
+        "  EFDB load vs JSON parse, 10k keys : {speedup_at_10k:.1}x (threshold 5x) — {}",
+        if speedup_at_10k >= 5.0 { "PASS" } else { "MISS" }
+    );
+    println!(
+        "  1k-query round-trip equivalence   : {}",
+        if equivalence_ok { "PASS" } else { "FAIL" }
+    );
+}

@@ -6,8 +6,10 @@
 //! efd evaluate --experiment <kind> [--classifier efd|taxonomist]
 //! efd screen [--top N]                    per-metric F-scores (Table 3 data)
 //! efd recognize --run <idx>               leave-one-out demo on run <idx>
-//! efd export-dict --out <path>            train on everything, dump JSON
-//! efd serve --dict <path> [--queries f]   sharded batch recognition service demo
+//! efd dump --out <path> [--format f]      train on everything, write JSON or EFDB
+//! efd convert --in <a> --out <b>          JSON ↔ EFDB, round-trip verified
+//! efd export-dict --out <path>            alias of `dump --format json`
+//! efd serve --load <path> [--queries f]   sharded batch recognition service demo
 //! efd report --out <path>                 write EXPERIMENTS.md content
 //! efd help
 //! ```
@@ -18,7 +20,7 @@
 
 use std::process::ExitCode;
 
-use efd_core::serialize;
+use efd_core::{binfmt, serialize, EfdDictionary};
 use efd_eval::classifier::{EfdClassifier, ExecutionClassifier, TaxonomistClassifier};
 use efd_eval::experiments::{run_experiment, EvalOptions, ExperimentKind, ExperimentResult};
 use efd_eval::report;
@@ -297,16 +299,127 @@ fn cmd_ingest_csv(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_export_dict(args: &Args) -> Result<(), String> {
-    let out = args.flag("out").ok_or("need --out <path>")?;
+/// On-disk dictionary format, chosen by `--format` or the output
+/// extension (`.efdb` → EFDB, anything else → JSON).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DumpFormat {
+    Json,
+    Efdb,
+}
+
+impl DumpFormat {
+    fn name(self) -> &'static str {
+        match self {
+            DumpFormat::Json => "json",
+            DumpFormat::Efdb => "efdb",
+        }
+    }
+
+    fn from_args(args: &Args, out_path: &str) -> Result<Self, String> {
+        match args.flag("format") {
+            None => Ok(if out_path.ends_with(".efdb") {
+                DumpFormat::Efdb
+            } else {
+                DumpFormat::Json
+            }),
+            Some("json") => Ok(DumpFormat::Json),
+            Some("efdb") => Ok(DumpFormat::Efdb),
+            Some(other) => Err(format!("unknown --format {other:?} (efdb|json)")),
+        }
+    }
+}
+
+/// Encode a dictionary in the requested on-disk format.
+fn encode_dict(
+    dict: &EfdDictionary,
+    catalog: &efd_telemetry::MetricCatalog,
+    format: DumpFormat,
+) -> Vec<u8> {
+    match format {
+        DumpFormat::Json => serialize::to_json(dict, catalog).into_bytes(),
+        DumpFormat::Efdb => binfmt::write_dictionary(dict, catalog),
+    }
+}
+
+/// Decode dictionary bytes, sniffing the format by the EFDB magic.
+fn decode_dict(
+    bytes: &[u8],
+    catalog: &efd_telemetry::MetricCatalog,
+    path: &str,
+) -> Result<(EfdDictionary, DumpFormat), String> {
+    if bytes.starts_with(&binfmt::MAGIC) {
+        let dict = binfmt::read_dictionary(bytes, catalog).map_err(|e| format!("{path}: {e}"))?;
+        Ok((dict, DumpFormat::Efdb))
+    } else {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("{path}: {e}"))?;
+        let dict = serialize::from_json(text, catalog).map_err(|e| format!("{path}: {e}"))?;
+        Ok((dict, DumpFormat::Json))
+    }
+}
+
+/// Train on every run and write the dictionary in `format`.
+fn dump_to(args: &Args, out: &str, format: DumpFormat) -> Result<(), String> {
     let d = dataset_from(args)?;
     let mut c = EfdClassifier::new(headline(&d));
     let all: Vec<usize> = (0..d.len()).collect();
     c.fit(&d, &all);
-    let json = serialize::to_json(c.model().expect("fitted").dictionary(), d.catalog());
-    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
-    println!("wrote {} bytes to {out}", json.len());
+    let bytes = encode_dict(c.model().expect("fitted").dictionary(), d.catalog(), format);
+    std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} bytes to {out} ({})", bytes.len(), format.name());
     Ok(())
+}
+
+fn cmd_dump(args: &Args) -> Result<(), String> {
+    let out = args.flag("out").ok_or("need --out <path>")?;
+    let format = DumpFormat::from_args(args, out)?;
+    dump_to(args, out, format)
+}
+
+/// Convert a dictionary dump between JSON and EFDB, verifying after the
+/// write that the output round-trips to the same canonical dictionary.
+fn cmd_convert(args: &Args) -> Result<(), String> {
+    let in_path = args.flag("in").ok_or("need --in <path>")?;
+    let out_path = args.flag("out").ok_or("need --out <path>")?;
+    let d = dataset_from(args)?;
+    let catalog = d.catalog();
+
+    let input = std::fs::read(in_path).map_err(|e| format!("{in_path}: {e}"))?;
+    let (dict, in_format) = decode_dict(&input, catalog, in_path)?;
+    let out_format = match args.flag("format") {
+        // Default direction: the other format.
+        None if !out_path.ends_with(".json") && !out_path.ends_with(".efdb") => match in_format {
+            DumpFormat::Json => DumpFormat::Efdb,
+            DumpFormat::Efdb => DumpFormat::Json,
+        },
+        _ => DumpFormat::from_args(args, out_path)?,
+    };
+    let output = encode_dict(&dict, catalog, out_format);
+    std::fs::write(out_path, &output).map_err(|e| format!("write {out_path}: {e}"))?;
+
+    // Round-trip equality check: reload what was written and compare the
+    // canonical EFDB encodings (identical bytes ⇔ identical keys, label
+    // intern order, and depth ⇔ identical recognition behavior).
+    let (back, _) = decode_dict(&output, catalog, out_path)?;
+    if binfmt::write_dictionary(&back, catalog) != binfmt::write_dictionary(&dict, catalog) {
+        return Err(format!(
+            "round-trip verification failed: {out_path} does not restore the input dictionary"
+        ));
+    }
+    println!(
+        "converted {in_path} ({}, {} bytes) -> {out_path} ({}, {} bytes)",
+        in_format.name(),
+        input.len(),
+        out_format.name(),
+        output.len()
+    );
+    println!("round trip verified: output restores the identical canonical dictionary");
+    Ok(())
+}
+
+/// Alias of `dump --format json` (the original JSON-only command).
+fn cmd_export_dict(args: &Args) -> Result<(), String> {
+    let out = args.flag("out").ok_or("need --out <path>")?;
+    dump_to(args, out, DumpFormat::Json)
 }
 
 /// Parse a query batch file. Two formats, chosen by extension:
@@ -426,15 +539,66 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     use std::sync::Arc;
     use std::time::Instant;
 
-    let dict_path = args
-        .flag("dict")
-        .ok_or("need --dict <dump.json> (produce one with `efd export-dict`)")?;
+    let dict_path = match (args.flag("dict"), args.flag("load")) {
+        (Some(p), None) | (None, Some(p)) => p,
+        (Some(_), Some(_)) => return Err("--dict and --load are mutually exclusive".into()),
+        (None, None) => {
+            return Err(
+                "need --load <dump.json|dict.efdb> (produce one with `efd dump`)".into(),
+            )
+        }
+    };
     let shards: usize = args.flag_parsed("shards")?.unwrap_or(8);
     let repeat: usize = args.flag_parsed("repeat")?.unwrap_or(1).max(1);
 
     let d = dataset_from(args)?;
-    let json = std::fs::read_to_string(dict_path).map_err(|e| format!("{dict_path}: {e}"))?;
-    let dict = serialize::from_json(&json, d.catalog()).map_err(|e| e.to_string())?;
+
+    // Load the dictionary and publish a snapshot. EFDB files take the
+    // zero-parse fast path (decoded sections → snapshot, no intermediate
+    // EfdDictionary); JSON pays a text parse. Both are timed and reported.
+    let raw = std::fs::read(dict_path).map_err(|e| format!("{dict_path}: {e}"))?;
+    let (snapshot, dict) = if raw.starts_with(&binfmt::MAGIC) {
+        let t = Instant::now();
+        let efdb = binfmt::read(&raw).map_err(|e| format!("{dict_path}: {e}"))?;
+        let decode = t.elapsed();
+        let t = Instant::now();
+        let snapshot = efd_serve::Snapshot::from_efdb(&efdb, d.catalog(), shards)
+            .map_err(|e| format!("{dict_path}: {e}"))?;
+        let build = t.elapsed();
+        println!(
+            "loaded:     {dict_path} — {} bytes efdb, decode {:.2} ms, snapshot {:.2} ms",
+            raw.len(),
+            decode.as_secs_f64() * 1e3,
+            build.as_secs_f64() * 1e3,
+        );
+        if !efdb.matches_catalog(d.catalog()) {
+            println!(
+                "note:       writer's catalog digest differs; metrics resolved by name"
+            );
+        }
+        // The live dictionary is only needed for the single-thread oracle
+        // comparison below; it is not on the load path. The decoded file
+        // has no further use, so consume it instead of cloning.
+        let parts = efdb
+            .into_parts(d.catalog())
+            .map_err(|e| format!("{dict_path}: {e}"))?;
+        (Arc::new(snapshot), EfdDictionary::from_parts(parts))
+    } else {
+        let text = std::str::from_utf8(&raw).map_err(|e| format!("{dict_path}: {e}"))?;
+        let t = Instant::now();
+        let dict = serialize::from_json(text, d.catalog()).map_err(|e| e.to_string())?;
+        let parse = t.elapsed();
+        let t = Instant::now();
+        let snapshot = Arc::new(efd_serve::Snapshot::freeze(&dict, shards));
+        let freeze = t.elapsed();
+        println!(
+            "loaded:     {dict_path} — {} bytes json, parse {:.2} ms, freeze {:.2} ms",
+            raw.len(),
+            parse.as_secs_f64() * 1e3,
+            freeze.as_secs_f64() * 1e3,
+        );
+        (snapshot, dict)
+    };
 
     let queries = match (args.flag("queries"), args.flag_parsed::<usize>("synth")?) {
         (Some(path), None) => load_queries(path, d.catalog())?,
@@ -442,8 +606,6 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         (None, None) => synth_queries(&d, 10_000),
         (Some(_), Some(_)) => return Err("--queries and --synth are mutually exclusive".into()),
     };
-
-    let snapshot = Arc::new(efd_serve::Snapshot::freeze(&dict, shards));
     let sizes = snapshot.shard_sizes();
     println!(
         "dictionary: {} entries, depth {}, {} labels, {} apps",
@@ -532,8 +694,13 @@ COMMANDS
   recognize              leave-one-out recognition demo: --run <idx>
   generate               export runs as LDMS-style CSVs: --out <dir> [--count N]
   ingest-csv             recognize a run from CSVs: --dir <path> --run <prefix>
-  export-dict            train on all runs, dump the dictionary: --out <path>
-  serve                  batch recognition service demo: --dict <dump.json>
+  dump                   train on all runs, write the dictionary: --out <path>
+                         [--format efdb|json] (default by extension; .efdb = binary,
+                         see docs/FORMAT.md)
+  convert                convert a dump between JSON and EFDB: --in <a> --out <b>
+                         [--format efdb|json]; verifies the output round-trips
+  export-dict            alias of `dump --format json`: --out <path>
+  serve                  batch recognition service demo: --load <dump.json|dict.efdb>
                          [--queries <csv|json>] [--synth N] [--shards N] [--repeat N]
   report                 write EXPERIMENTS.md content: [--out <path>]
   help                   this text
@@ -565,6 +732,8 @@ fn main() -> ExitCode {
         "recognize" => cmd_recognize(&args),
         "generate" => cmd_generate(&args),
         "ingest-csv" => cmd_ingest_csv(&args),
+        "dump" => cmd_dump(&args),
+        "convert" => cmd_convert(&args),
         "export-dict" => cmd_export_dict(&args),
         "serve" => cmd_serve(&args),
         "report" => cmd_report(&args),

@@ -29,11 +29,14 @@
 //!   the moment the fingerprint window closes.
 //! * [`serialize`] — JSON dumps of dictionaries ("learning new applications
 //!   is as simple as adding new keys").
+//! * [`binfmt`] — EFDB, the versioned binary dictionary format: zero-parse
+//!   persistence for instant serve cold-starts (spec in `docs/FORMAT.md`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod align;
+pub mod binfmt;
 pub mod dictionary;
 pub mod fingerprint;
 pub mod maintenance;
@@ -45,6 +48,7 @@ pub mod rounding;
 pub mod serialize;
 pub mod training;
 
+pub use binfmt::{BinFormatError, Efdb};
 pub use dictionary::{
     AppNameId, DictionaryParts, DictionaryStats, EfdDictionary, LabelId, Recognition, Verdict,
 };

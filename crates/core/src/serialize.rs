@@ -94,6 +94,16 @@ pub enum RestoreError {
     UnknownMetric(String),
     /// The dumped rounding depth is outside `1..=17`.
     InvalidDepth(u8),
+    /// The dumped rounding depth is valid but disagrees with the depth the
+    /// caller expects (see [`restore_expecting`]). Mixing depths silently
+    /// would produce a dictionary whose keys never match queries rounded
+    /// at the expected depth.
+    DepthMismatch {
+        /// The depth the caller expected.
+        expected: u8,
+        /// The depth recorded in the dump.
+        found: u8,
+    },
     /// JSON decode failure.
     Json(serde_json::Error),
 }
@@ -103,6 +113,10 @@ impl fmt::Display for RestoreError {
         match self {
             RestoreError::UnknownMetric(m) => write!(f, "metric {m:?} not in catalog"),
             RestoreError::InvalidDepth(d) => write!(f, "rounding depth {d} outside 1..=17"),
+            RestoreError::DepthMismatch { expected, found } => write!(
+                f,
+                "dump was built at rounding depth {found}, caller expects depth {expected}"
+            ),
             RestoreError::Json(e) => write!(f, "json error: {e}"),
         }
     }
@@ -167,6 +181,29 @@ pub fn restore(
     Ok(dict)
 }
 
+/// [`restore`], but also enforce that the dump was built at the rounding
+/// depth the caller's pipeline expects.
+///
+/// `restore` alone accepts *any* valid depth — correct when the caller
+/// adopts the dump's depth, silently wrong when the caller already rounds
+/// queries at a fixed depth (a serving tier, a dictionary about to be
+/// merged into another): every lookup would miss, indistinguishable from
+/// an all-`Unknown` workload. This variant turns that state into a typed
+/// [`RestoreError::DepthMismatch`] before any entry is inserted.
+pub fn restore_expecting(
+    dump: &DictionaryDump,
+    catalog: &MetricCatalog,
+    expected: RoundingDepth,
+) -> Result<EfdDictionary, RestoreError> {
+    if dump.depth != expected.get() {
+        return Err(RestoreError::DepthMismatch {
+            expected: expected.get(),
+            found: dump.depth,
+        });
+    }
+    restore(dump, catalog)
+}
+
 /// Dump to pretty JSON.
 pub fn to_json(dict: &EfdDictionary, catalog: &MetricCatalog) -> String {
     serde_json::to_string_pretty(&dump(dict, catalog)).expect("dump serialization cannot fail")
@@ -176,6 +213,16 @@ pub fn to_json(dict: &EfdDictionary, catalog: &MetricCatalog) -> String {
 pub fn from_json(json: &str, catalog: &MetricCatalog) -> Result<EfdDictionary, RestoreError> {
     let d: DictionaryDump = serde_json::from_str(json).map_err(RestoreError::Json)?;
     restore(&d, catalog)
+}
+
+/// [`from_json`] with a depth expectation (see [`restore_expecting`]).
+pub fn from_json_expecting(
+    json: &str,
+    catalog: &MetricCatalog,
+    expected: RoundingDepth,
+) -> Result<EfdDictionary, RestoreError> {
+    let d: DictionaryDump = serde_json::from_str(json).map_err(RestoreError::Json)?;
+    restore_expecting(&d, catalog, expected)
 }
 
 #[cfg(test)]
@@ -274,6 +321,46 @@ mod tests {
         assert!(matches!(
             restore(&dmp, &c),
             Err(RestoreError::InvalidDepth(99))
+        ));
+    }
+
+    #[test]
+    fn depth_mismatch_is_a_typed_error() {
+        let c = small_catalog();
+        let d = sample_dict(&c); // built at depth 2
+        let json = to_json(&d, &c);
+
+        // Matching expectation restores normally.
+        let back = from_json_expecting(&json, &c, RoundingDepth::new(2)).unwrap();
+        assert_eq!(back.len(), d.len());
+
+        // A disagreeing expectation is surfaced before any entry lands,
+        // instead of silently producing a dictionary that never matches.
+        assert!(matches!(
+            from_json_expecting(&json, &c, RoundingDepth::new(3)),
+            Err(RestoreError::DepthMismatch {
+                expected: 3,
+                found: 2
+            })
+        ));
+        let dmp = dump(&d, &c);
+        assert!(matches!(
+            restore_expecting(&dmp, &c, RoundingDepth::new(7)),
+            Err(RestoreError::DepthMismatch {
+                expected: 7,
+                found: 2
+            })
+        ));
+        // The expectation check runs before depth validity: even an
+        // out-of-range stored depth reports the mismatch first.
+        let mut bad = dump(&d, &c);
+        bad.depth = 99;
+        assert!(matches!(
+            restore_expecting(&bad, &c, RoundingDepth::new(17)),
+            Err(RestoreError::DepthMismatch {
+                expected: 17,
+                found: 99
+            })
         ));
     }
 

@@ -10,8 +10,10 @@
 //! application list so the recognition inner loop does zero label→app
 //! indirection.
 
+use efd_core::binfmt::{BinFormatError, Efdb};
 use efd_core::dictionary::{AppNameId, LabelId};
 use efd_core::{DictionaryParts, EfdDictionary, Fingerprint, Query, Recognition, RoundingDepth};
+use efd_telemetry::metric::MetricCatalog;
 use efd_telemetry::AppLabel;
 use efd_util::FxHashMap;
 
@@ -108,6 +110,83 @@ impl Snapshot {
     /// the dictionary can keep learning and re-publish later).
     pub fn freeze(dict: &EfdDictionary, shards: usize) -> Self {
         Self::from_parts(dict.to_parts(), shards)
+    }
+
+    /// Build a snapshot **directly from a decoded EFDB file** — the serve
+    /// cold-start fast path.
+    ///
+    /// A validated [`Efdb`] already guarantees unique, bounds-checked keys
+    /// and a consistent label table, so this constructor skips the
+    /// intermediate [`EfdDictionary`] entirely: metric names resolve to
+    /// ids once, then every key record becomes one shard-map insert. The
+    /// only failure mode left is a metric name absent from `catalog`
+    /// ([`BinFormatError::UnknownMetric`]).
+    ///
+    /// Answer-identical to loading the same file through
+    /// [`efd_core::binfmt::read_dictionary`] and [`Snapshot::freeze`].
+    ///
+    /// ```
+    /// use efd_core::{binfmt, EfdDictionary, Query, RoundingDepth};
+    /// use efd_serve::Snapshot;
+    /// use efd_telemetry::catalog::small_catalog;
+    /// use efd_telemetry::{AppLabel, Interval, NodeId};
+    ///
+    /// let catalog = small_catalog();
+    /// let metric = catalog.id("nr_mapped_vmstat").unwrap();
+    /// let mut dict = EfdDictionary::new(RoundingDepth::new(2));
+    /// for (node, mean) in [6020.0, 6019.0].into_iter().enumerate() {
+    ///     dict.insert_raw(metric, NodeId(node as u16), Interval::PAPER_DEFAULT,
+    ///                     mean, &AppLabel::new("ft", "X"));
+    /// }
+    /// let bytes = binfmt::write(&dict.to_parts(), &catalog);
+    ///
+    /// // Cold start: bytes → decoded sections → served snapshot.
+    /// let efdb = binfmt::read(&bytes).unwrap();
+    /// let snap = Snapshot::from_efdb(&efdb, &catalog, 8).unwrap();
+    /// let q = Query::from_node_means(metric, Interval::PAPER_DEFAULT, &[6001.0, 5999.0]);
+    /// assert_eq!(snap.recognize(&q).verdict, dict.recognize(&q).verdict);
+    /// assert_eq!(snap.len(), dict.len());
+    /// ```
+    pub fn from_efdb(
+        efdb: &Efdb,
+        catalog: &MetricCatalog,
+        shards: usize,
+    ) -> Result<Self, BinFormatError> {
+        let metric_ids = efdb.resolve_metrics(catalog)?;
+        let label_app = efdb.label_app();
+        let shard_bits = shard_bits_for(shards);
+        let mut maps: Vec<FxHashMap<Fingerprint, SnapEntry>> =
+            (0..(1usize << shard_bits)).map(|_| FxHashMap::default()).collect();
+        for e in efdb.entries() {
+            let fp = Fingerprint::from_rounded(
+                metric_ids[e.metric as usize],
+                e.node,
+                e.interval,
+                e.mean(),
+            );
+            let mut apps: Vec<AppNameId> = Vec::with_capacity(1);
+            for id in &e.labels {
+                let app = label_app[id.index()];
+                if !apps.contains(&app) {
+                    apps.push(app);
+                }
+            }
+            maps[shard_of(&fp, shard_bits)].insert(
+                fp,
+                SnapEntry {
+                    labels: e.labels.clone().into_boxed_slice(),
+                    apps: apps.into_boxed_slice(),
+                },
+            );
+        }
+        Ok(Self {
+            depth: efdb.depth(),
+            shard_bits,
+            shards: maps.into_boxed_slice(),
+            labels: efdb.labels().to_vec(),
+            apps: efdb.apps().to_vec(),
+            label_app: label_app.to_vec(),
+        })
     }
 
     /// Thaw back into a mutable [`EfdDictionary`] — e.g. to keep learning
@@ -327,6 +406,41 @@ mod tests {
         for q in queries() {
             assert_eq!(snap.recognize(&q), oracle.recognize(&q).normalized());
         }
+    }
+
+    #[test]
+    fn from_efdb_matches_freeze_on_every_query() {
+        let catalog = efd_telemetry::catalog::small_catalog();
+        let dict = toy_dict();
+        let bytes = efd_core::binfmt::write(&dict.to_parts(), &catalog);
+        let efdb = efd_core::binfmt::read(&bytes).unwrap();
+        for shards in [1usize, 4, 16] {
+            let via_efdb = Snapshot::from_efdb(&efdb, &catalog, shards).unwrap();
+            let via_freeze = Snapshot::freeze(&dict, shards);
+            assert_eq!(via_efdb.len(), via_freeze.len());
+            assert_eq!(via_efdb.depth(), dict.depth());
+            assert_eq!(via_efdb.app_names(), via_freeze.app_names());
+            for q in queries() {
+                assert_eq!(
+                    via_efdb.recognize(&q),
+                    via_freeze.recognize(&q),
+                    "shards={shards}"
+                );
+                assert_eq!(via_efdb.best(&q), via_freeze.best(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn from_efdb_rejects_unresolvable_metric() {
+        let catalog = efd_telemetry::catalog::small_catalog();
+        let bytes = efd_core::binfmt::write(&toy_dict().to_parts(), &catalog);
+        let efdb = efd_core::binfmt::read(&bytes).unwrap();
+        let empty = efd_telemetry::MetricCatalog::new();
+        assert!(matches!(
+            Snapshot::from_efdb(&efdb, &empty, 4),
+            Err(efd_core::BinFormatError::UnknownMetric(_))
+        ));
     }
 
     #[test]

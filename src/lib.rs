@@ -9,9 +9,10 @@
 //! This facade re-exports the workspace crates:
 //!
 //! * [`core`] (`efd-core`) — the dictionary itself: rounding depth,
-//!   fingerprints, learning/recognition, depth selection, plus the paper's
-//!   future-work extensions (combinatorial fingerprints, temporal
-//!   alignment, reverse lookup, streaming recognition).
+//!   fingerprints, learning/recognition, depth selection, persistence
+//!   (JSON dumps and the EFDB binary format, spec in `docs/FORMAT.md`),
+//!   plus the paper's future-work extensions (combinatorial fingerprints,
+//!   temporal alignment, reverse lookup, streaming recognition).
 //! * [`telemetry`] (`efd-telemetry`) — the simulated LDMS substrate:
 //!   562-metric catalog, 1 Hz sampling, noise processes, traces.
 //! * [`workload`] (`efd-workload`) — synthetic application models and the

@@ -323,13 +323,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                    // Copy the maximal run of unescaped bytes in one shot.
+                    // Runs end at ASCII delimiters (`"`, `\`) or
+                    // end-of-input, so a run cut from valid UTF-8 is valid
+                    // UTF-8 on its own, and validation is O(run) — not
+                    // O(remaining input) per character, which made large
+                    // documents quadratic to parse.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::msg("invalid utf-8 in string"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
