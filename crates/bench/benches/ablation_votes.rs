@@ -61,7 +61,9 @@ fn main() {
                 match &r.verdict {
                     Verdict::Ambiguous(_) => ambiguous += 1,
                     Verdict::Unknown => unknown += 1,
-                    Verdict::Recognized(_) => {}
+                    // Verdict is #[non_exhaustive]; recognized and any
+                    // future variants count as neither ambiguous nor lost.
+                    _ => {}
                 }
                 if r.best() == Some(labels[i].app.as_str()) {
                     correct += 1;

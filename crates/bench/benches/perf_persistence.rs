@@ -26,7 +26,7 @@ use std::time::Instant;
 use criterion::black_box;
 use efd_core::observation::{ObsPoint, Query};
 use efd_core::{binfmt, serialize, EfdDictionary, RoundingDepth};
-use efd_serve::Snapshot;
+use efd_serve::{Recognize, Snapshot};
 use efd_telemetry::catalog::taxonomist_catalog;
 use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
 use efd_util::{SplitMix64, TextTable};

@@ -16,6 +16,14 @@
 //! (`EFD_THREADS`, default = available cores) and the dense-counter read
 //! path that skips the oracle's per-query vote hash maps.
 //!
+//! A trait-dispatch leg quantifies the engine-API redesign: the same
+//! snapshot driven single-threaded through (a) direct `recognize_into`
+//! calls (the pre-redesign inherent `recognize_with` shape — identical
+//! machine code), (b) a generic `R: Recognize` driver (static dispatch,
+//! monomorphized), and (c) a `Box<dyn Recognize>` (vtable dispatch).
+//! Acceptance: the generic path is within noise (≥ 0.95×) of the direct
+//! path.
+//!
 //! Knobs: `EFD_SERVE_QUERIES` (default 10000), `EFD_SERVE_REPS`
 //! (default 5; best-of-N wall clock per row).
 
@@ -24,6 +32,7 @@ use std::time::Instant;
 
 use criterion::black_box;
 use efd_bench::{bench_dataset, headline_metric};
+use efd_core::engine::{Recognize, VoteScratch};
 use efd_core::observation::{LabeledObservation, Query};
 use efd_core::training::{Efd, EfdConfig};
 use efd_core::RoundingDepth;
@@ -156,5 +165,66 @@ fn main() {
     println!(
         "  >= 2x threshold     : {}",
         if ok { "PASS" } else { "MISS" }
+    );
+
+    // ------------------------------------------------------------------
+    // Trait-dispatch overhead: the engine API must not tax the hot path.
+    // All three drivers are single-threaded over the same snapshot with
+    // one reused scratch, so the only variable is the dispatch mechanism.
+    // ------------------------------------------------------------------
+
+    /// Generic driver: monomorphizes per backend — this is what
+    /// `BatchRecognizer<R>` and every `R: Recognize` call site compile to.
+    fn drive<R: Recognize>(backend: &R, queries: &[Query], scratch: &mut VoteScratch) -> usize {
+        let mut matched = 0usize;
+        for q in queries {
+            matched += backend.recognize_into(q, scratch).matched_points;
+        }
+        matched
+    }
+
+    let snapshot = Snapshot::freeze(&dict, 8);
+    let boxed: Box<dyn Recognize + Send + Sync> = Box::new(snapshot.clone());
+    let mut scratch = VoteScratch::default();
+
+    // Direct method calls on the concrete type — byte-for-byte the
+    // pre-redesign inherent `recognize_with` loop.
+    let t_direct = time_best_of(reps, || {
+        let mut matched = 0usize;
+        for q in &queries {
+            matched += snapshot.recognize_into(q, &mut scratch).matched_points;
+        }
+        black_box(matched);
+    });
+    let t_generic = time_best_of(reps, || {
+        black_box(drive(&snapshot, &queries, &mut scratch));
+    });
+    let t_dyn = time_best_of(reps, || {
+        black_box(drive(&boxed, &queries, &mut scratch));
+    });
+
+    let mut dispatch = TextTable::new(vec!["dispatch", "time ms", "q/s", "vs direct"])
+        .with_title("Engine-API dispatch overhead (single thread, 8 shards)".to_string());
+    for (mode, t) in [
+        ("direct (inherent shape)", t_direct),
+        ("generic R: Recognize", t_generic),
+        ("Box<dyn Recognize>", t_dyn),
+    ] {
+        dispatch.add_row(vec![
+            mode.to_string(),
+            format!("{:.1}", t * 1e3),
+            format!("{:.0}", queries.len() as f64 / t),
+            format!("{:.2}x", t_direct / t),
+        ]);
+    }
+    println!("\n{}", dispatch.render());
+
+    let generic_ratio = t_direct / t_generic;
+    println!("\nacceptance: generic trait path vs pre-redesign inherent path:");
+    println!("  generic/static      : {generic_ratio:.2}x direct");
+    println!("  dyn box             : {:.2}x direct", t_direct / t_dyn);
+    println!(
+        "  >= 0.95x threshold  : {}",
+        if generic_ratio >= 0.95 { "PASS" } else { "MISS" }
     );
 }

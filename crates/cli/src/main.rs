@@ -3,13 +3,14 @@
 //! ```text
 //! efd table <1|2|3|4>                     regenerate a paper table
 //! efd figure2 [--trees N]                 regenerate Figure 2 (both systems)
-//! efd evaluate --experiment <kind> [--classifier efd|taxonomist]
+//! efd evaluate --experiment <kind> [--classifier efd|taxonomist|knn|gaussian-nb]
 //! efd screen [--top N]                    per-metric F-scores (Table 3 data)
 //! efd recognize --run <idx>               leave-one-out demo on run <idx>
 //! efd dump --out <path> [--format f]      train on everything, write JSON or EFDB
 //! efd convert --in <a> --out <b>          JSON ↔ EFDB, round-trip verified
 //! efd export-dict --out <path>            alias of `dump --format json`
-//! efd serve --load <path> [--queries f]   sharded batch recognition service demo
+//! efd serve --load <path> [--queries f]   batch recognition service demo
+//!           [--backend snapshot|sharded|combo]   (one engine API, any backend)
 //! efd report --out <path>                 write EXPERIMENTS.md content
 //! efd help
 //! ```
@@ -20,8 +21,10 @@
 
 use std::process::ExitCode;
 
+use efd_core::engine::Recognize;
 use efd_core::{binfmt, serialize, EfdDictionary};
 use efd_eval::classifier::{EfdClassifier, ExecutionClassifier, TaxonomistClassifier};
+use efd_eval::engine::{EngineClassifier, MlBackend};
 use efd_eval::experiments::{run_experiment, EvalOptions, ExperimentKind, ExperimentResult};
 use efd_eval::report;
 use efd_eval::screening::screen_metrics;
@@ -173,15 +176,36 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     let kind = experiment_kind(args.flag("experiment").ok_or("need --experiment")?)?;
     let d = dataset_from(args)?;
     let opts = EvalOptions::default();
+    let metric = headline(&d);
+    // `knn` / `gaussian-nb` run through the engine API: an `MlBackend`
+    // (the ml family as a `Learn`/`Recognize` backend) adapted into the
+    // experiment harness by `EngineClassifier` — the same plumbing that
+    // would host any other engine backend.
     let result = match args.flag("classifier").unwrap_or("efd") {
-        "efd" => run_experiment(kind, &mut EfdClassifier::new(headline(&d)), &d, &opts),
+        "efd" => run_experiment(kind, &mut EfdClassifier::new(metric), &d, &opts),
         "taxonomist" => run_experiment(
             kind,
             &mut TaxonomistClassifier::new(taxonomist_cfg(args)?),
             &d,
             &opts,
         ),
-        other => return Err(format!("unknown classifier {other:?} (efd|taxonomist)")),
+        "knn" => run_experiment(
+            kind,
+            &mut EngineClassifier::new("kNN", metric, || MlBackend::knn(5, 0.5)),
+            &d,
+            &opts,
+        ),
+        "gaussian-nb" => run_experiment(
+            kind,
+            &mut EngineClassifier::new("GaussianNB", metric, || MlBackend::gaussian_nb(0.5)),
+            &d,
+            &opts,
+        ),
+        other => {
+            return Err(format!(
+                "unknown classifier {other:?} (efd|taxonomist|knn|gaussian-nb)"
+            ))
+        }
     };
     println!(
         "{} / {}: mean macro-F1 = {:.3}",
@@ -535,10 +559,38 @@ fn synth_queries(d: &Dataset, count: usize) -> Vec<efd_core::Query> {
         .collect()
 }
 
+/// Which engine backend `efd serve` answers through — all of them behind
+/// one `Box<dyn Recognize + Send + Sync>`, so the serving loop below is
+/// backend-agnostic.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ServeBackend {
+    /// Immutable published [`efd_serve::Snapshot`] (the default).
+    Snapshot,
+    /// Live [`efd_serve::ShardedDictionary`] (per-shard `RwLock`s).
+    Sharded,
+    /// Conjunctive [`efd_serve::ComboSnapshot`] over the same entries.
+    Combo,
+}
+
+impl ServeBackend {
+    fn from_args(args: &Args) -> Result<Self, String> {
+        match args.flag("backend") {
+            None | Some("snapshot") => Ok(ServeBackend::Snapshot),
+            Some("sharded") => Ok(ServeBackend::Sharded),
+            Some("combo") => Ok(ServeBackend::Combo),
+            Some(other) => Err(format!(
+                "unknown --backend {other:?} (snapshot|sharded|combo)"
+            )),
+        }
+    }
+
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use std::sync::Arc;
     use std::time::Instant;
 
+    let backend_kind = ServeBackend::from_args(args)?;
     let dict_path = match (args.flag("dict"), args.flag("load")) {
         (Some(p), None) | (None, Some(p)) => p,
         (Some(_), Some(_)) => return Err("--dict and --load are mutually exclusive".into()),
@@ -553,51 +605,53 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
     let d = dataset_from(args)?;
 
-    // Load the dictionary and publish a snapshot. EFDB files take the
-    // zero-parse fast path (decoded sections → snapshot, no intermediate
-    // EfdDictionary); JSON pays a text parse. Both are timed and reported.
+    // Load the dictionary. An EFDB file is zero-parse decoded; a JSON
+    // dump pays a text parse. The live `EfdDictionary` is always needed
+    // (oracle comparison below, and it feeds the non-snapshot backends);
+    // the snapshot fast path (decoded EFDB sections → snapshot, no
+    // intermediate dictionary) is taken only when a snapshot is actually
+    // being served.
     let raw = std::fs::read(dict_path).map_err(|e| format!("{dict_path}: {e}"))?;
-    let (snapshot, dict) = if raw.starts_with(&binfmt::MAGIC) {
+    let (dict, fast_snapshot) = if raw.starts_with(&binfmt::MAGIC) {
         let t = Instant::now();
         let efdb = binfmt::read(&raw).map_err(|e| format!("{dict_path}: {e}"))?;
         let decode = t.elapsed();
+        if !efdb.matches_catalog(d.catalog()) {
+            println!(
+                "note:       writer's catalog digest differs; metrics resolved by name"
+            );
+        }
         let t = Instant::now();
-        let snapshot = efd_serve::Snapshot::from_efdb(&efdb, d.catalog(), shards)
-            .map_err(|e| format!("{dict_path}: {e}"))?;
+        let snapshot = if backend_kind == ServeBackend::Snapshot {
+            Some(
+                efd_serve::Snapshot::from_efdb(&efdb, d.catalog(), shards)
+                    .map_err(|e| format!("{dict_path}: {e}"))?,
+            )
+        } else {
+            None
+        };
         let build = t.elapsed();
+        let parts = efdb
+            .into_parts(d.catalog())
+            .map_err(|e| format!("{dict_path}: {e}"))?;
         println!(
             "loaded:     {dict_path} — {} bytes efdb, decode {:.2} ms, snapshot {:.2} ms",
             raw.len(),
             decode.as_secs_f64() * 1e3,
             build.as_secs_f64() * 1e3,
         );
-        if !efdb.matches_catalog(d.catalog()) {
-            println!(
-                "note:       writer's catalog digest differs; metrics resolved by name"
-            );
-        }
-        // The live dictionary is only needed for the single-thread oracle
-        // comparison below; it is not on the load path. The decoded file
-        // has no further use, so consume it instead of cloning.
-        let parts = efdb
-            .into_parts(d.catalog())
-            .map_err(|e| format!("{dict_path}: {e}"))?;
-        (Arc::new(snapshot), EfdDictionary::from_parts(parts))
+        (EfdDictionary::from_parts(parts), snapshot)
     } else {
         let text = std::str::from_utf8(&raw).map_err(|e| format!("{dict_path}: {e}"))?;
         let t = Instant::now();
         let dict = serialize::from_json(text, d.catalog()).map_err(|e| e.to_string())?;
         let parse = t.elapsed();
-        let t = Instant::now();
-        let snapshot = Arc::new(efd_serve::Snapshot::freeze(&dict, shards));
-        let freeze = t.elapsed();
         println!(
-            "loaded:     {dict_path} — {} bytes json, parse {:.2} ms, freeze {:.2} ms",
+            "loaded:     {dict_path} — {} bytes json, parse {:.2} ms",
             raw.len(),
             parse.as_secs_f64() * 1e3,
-            freeze.as_secs_f64() * 1e3,
         );
-        (snapshot, dict)
+        (dict, None)
     };
 
     let queries = match (args.flag("queries"), args.flag_parsed::<usize>("synth")?) {
@@ -606,22 +660,51 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         (None, None) => synth_queries(&d, 10_000),
         (Some(_), Some(_)) => return Err("--queries and --synth are mutually exclusive".into()),
     };
-    let sizes = snapshot.shard_sizes();
     println!(
         "dictionary: {} entries, depth {}, {} labels, {} apps",
-        snapshot.len(),
+        dict.len(),
         dict.depth(),
-        snapshot.label_count(),
-        snapshot.app_names().len()
-    );
-    println!(
-        "snapshot:   {} shards, keys/shard min {} max {}",
-        snapshot.shard_count(),
-        sizes.iter().min().unwrap_or(&0),
-        sizes.iter().max().unwrap_or(&0),
+        dict.label_count(),
+        dict.app_names().len()
     );
 
-    let server = efd_serve::BatchRecognizer::new(Arc::clone(&snapshot));
+    // Runtime backend selection through the engine API: every backend is
+    // a `Recognize`, so the serving loop below is written once against
+    // an `Arc<dyn Recognize + Send + Sync>`. Only the selected backend
+    // is built.
+    let engine: Arc<dyn Recognize + Send + Sync> = match backend_kind {
+        ServeBackend::Snapshot => {
+            let snapshot =
+                fast_snapshot.unwrap_or_else(|| efd_serve::Snapshot::freeze(&dict, shards));
+            let sizes = snapshot.shard_sizes();
+            println!(
+                "backend:    snapshot — {} shards, keys/shard min {} max {}",
+                snapshot.shard_count(),
+                sizes.iter().min().unwrap_or(&0),
+                sizes.iter().max().unwrap_or(&0),
+            );
+            Arc::new(snapshot)
+        }
+        ServeBackend::Sharded => {
+            let sharded = efd_serve::ShardedDictionary::from_parts(dict.to_parts(), shards);
+            let sizes = sharded.shard_sizes();
+            println!(
+                "backend:    sharded — {} shards, keys/shard min {} max {}",
+                sharded.shard_count(),
+                sizes.iter().min().unwrap_or(&0),
+                sizes.iter().max().unwrap_or(&0),
+            );
+            Arc::new(sharded)
+        }
+        ServeBackend::Combo => {
+            let combo = efd_core::multi::ComboDictionary::from_single_metric(&dict)
+                .ok_or("--backend combo needs a non-empty single-metric dictionary")?;
+            println!("backend:    combo — {} conjunctive keys", combo.len());
+            Arc::new(efd_serve::ComboSnapshot::freeze(combo))
+        }
+    };
+
+    let server = efd_serve::BatchRecognizer::new(engine);
     let start = Instant::now();
     let mut answers = Vec::new();
     for _ in 0..repeat {
@@ -635,7 +718,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         match &r.verdict {
             efd_core::Verdict::Recognized(_) => recognized += 1,
             efd_core::Verdict::Ambiguous(_) => ambiguous += 1,
-            efd_core::Verdict::Unknown => unknown += 1,
+            // `Verdict` is #[non_exhaustive]; count future variants with
+            // the safeguard bucket.
+            _ => unknown += 1,
         }
     }
     println!(
@@ -689,7 +774,8 @@ USAGE: efd <command> [flags]
 COMMANDS
   table <1|2|3|4>        regenerate a paper table
   figure2                regenerate Figure 2 (all experiments, both systems)
-  evaluate               one experiment: --experiment <kind> [--classifier efd|taxonomist]
+  evaluate               one experiment: --experiment <kind>
+                         [--classifier efd|taxonomist|knn|gaussian-nb]
   screen                 rank all 562 metrics by normal-fold F-score [--top N]
   recognize              leave-one-out recognition demo: --run <idx>
   generate               export runs as LDMS-style CSVs: --out <dir> [--count N]
@@ -701,7 +787,8 @@ COMMANDS
                          [--format efdb|json]; verifies the output round-trips
   export-dict            alias of `dump --format json`: --out <path>
   serve                  batch recognition service demo: --load <dump.json|dict.efdb>
-                         [--queries <csv|json>] [--synth N] [--shards N] [--repeat N]
+                         [--backend snapshot|sharded|combo] [--queries <csv|json>]
+                         [--synth N] [--shards N] [--repeat N]
   report                 write EXPERIMENTS.md content: [--out <path>]
   help                   this text
 

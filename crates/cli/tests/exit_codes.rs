@@ -1,0 +1,106 @@
+//! CLI argument error paths: bad flag values must produce a one-line
+//! `error: …` on stderr and a nonzero exit code — never a panic backtrace.
+
+use std::process::{Command, Output};
+
+fn efd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_efd"))
+        .args(args)
+        .output()
+        .expect("spawn efd")
+}
+
+/// Asserts the invocation failed cleanly: nonzero exit, a single
+/// `error: …` line on stderr, and no panic/backtrace spew.
+fn assert_clean_error(args: &[&str], expect_in_stderr: &str) {
+    let out = efd(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "{args:?} unexpectedly succeeded; stderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "{args:?} panicked instead of erroring:\n{stderr}"
+    );
+    let error_lines: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.starts_with("error: "))
+        .collect();
+    assert_eq!(
+        error_lines.len(),
+        1,
+        "{args:?}: expected exactly one error line, got:\n{stderr}"
+    );
+    assert!(
+        error_lines[0].contains(expect_in_stderr),
+        "{args:?}: error line {:?} does not mention {expect_in_stderr:?}",
+        error_lines[0]
+    );
+}
+
+#[test]
+fn unknown_backend_is_a_clean_error() {
+    // --backend is validated before --load is touched.
+    assert_clean_error(
+        &["serve", "--load", "/nonexistent.efdb", "--backend", "bogus"],
+        "--backend",
+    );
+}
+
+#[test]
+fn unknown_format_is_a_clean_error() {
+    assert_clean_error(
+        &["dump", "--out", "/tmp/efd-exit-code-test.bin", "--format", "bogus"],
+        "--format",
+    );
+}
+
+#[test]
+fn missing_load_file_is_a_clean_error() {
+    assert_clean_error(&["serve", "--load", "/nonexistent/efd.dump"], "/nonexistent");
+}
+
+#[test]
+fn serve_without_load_is_a_clean_error() {
+    assert_clean_error(&["serve"], "--load");
+}
+
+#[test]
+fn unknown_command_is_a_clean_error() {
+    assert_clean_error(&["frobnicate"], "frobnicate");
+}
+
+#[test]
+fn unknown_experiment_is_a_clean_error() {
+    assert_clean_error(&["evaluate", "--experiment", "bogus"], "bogus");
+}
+
+#[test]
+fn unknown_classifier_is_a_clean_error() {
+    assert_clean_error(
+        &["evaluate", "--experiment", "normal-fold", "--classifier", "bogus"],
+        "classifier",
+    );
+}
+
+#[test]
+fn flag_without_value_is_a_clean_error() {
+    assert_clean_error(&["serve", "--load"], "needs a value");
+}
+
+#[test]
+fn bad_numeric_flag_is_a_clean_error() {
+    assert_clean_error(
+        &["serve", "--load", "/nonexistent.efdb", "--shards", "many"],
+        "--shards",
+    );
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = efd(&["help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--backend snapshot|sharded|combo"), "{stdout}");
+}

@@ -65,7 +65,11 @@ pub const HEADER_LEN: usize = 48;
 pub const KEY_RECORD_LEN: usize = 26;
 
 /// Errors decoding an EFDB byte stream.
+///
+/// Marked `#[non_exhaustive]`: future format validations may add variants
+/// without a semver break, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum BinFormatError {
     /// The stream ends before `what` could be read in full.
     Truncated {
@@ -227,6 +231,7 @@ impl EfdbEntry {
 /// serving layer (`efd_serve::Snapshot::from_efdb`) to skip the
 /// intermediate [`EfdDictionary`] entirely.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a decoded Efdb holds the validated sections; thaw or serve them"]
 pub struct Efdb {
     depth: RoundingDepth,
     catalog_digest: u64,

@@ -106,7 +106,13 @@ pub struct EfdDictionary {
 }
 
 /// Outcome of recognizing one execution.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm so
+/// future verdict refinements (e.g. a confidence-scored variant) are not
+/// semver breaks.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+#[must_use = "a verdict is the answer; dropping it silently discards the recognition"]
 pub enum Verdict {
     /// Exactly one application had the most matches.
     Recognized(String),
@@ -122,6 +128,7 @@ pub enum Verdict {
 
 /// Full recognition report.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a recognition is the answer; inspect its verdict or votes"]
 pub struct Recognition {
     /// The verdict (see [`Verdict`]).
     pub verdict: Verdict,
@@ -236,6 +243,7 @@ pub struct DictionaryStats {
 /// [`Self::label_app`] maps every label to its application's position in
 /// [`Self::apps`].
 #[derive(Debug, Clone)]
+#[must_use = "parts hold the frozen dictionary content; thaw or freeze them"]
 pub struct DictionaryParts {
     /// Rounding depth the entries were built with.
     pub depth: RoundingDepth,
@@ -680,6 +688,51 @@ impl EfdDictionary {
             ]);
         }
         t
+    }
+}
+
+impl crate::engine::Learn for EfdDictionary {
+    fn learn(&mut self, obs: &LabeledObservation) {
+        EfdDictionary::learn(self, obs);
+    }
+
+    fn learn_all(&mut self, observations: &[LabeledObservation]) {
+        EfdDictionary::learn_all(self, observations);
+    }
+}
+
+/// The oracle as an engine backend.
+///
+/// Unlike the inherent [`EfdDictionary::recognize`] (which preserves the
+/// paper's first-learned tie-array ordering for Table 4 fidelity), the
+/// trait path counts votes in dense [`crate::engine::VoteScratch`]
+/// counters and returns the [`Recognition::normalized`] form — the engine
+/// API's answer contract. The two agree modulo `normalized()`.
+impl crate::engine::Recognize for EfdDictionary {
+    fn recognize_into(
+        &self,
+        query: &Query,
+        scratch: &mut crate::engine::VoteScratch,
+    ) -> Recognition {
+        scratch.ensure(self.labels.len(), self.apps.len());
+        let mut matched = 0usize;
+        for p in &query.points {
+            let Some(fp) =
+                Fingerprint::from_raw(p.metric, p.node, p.interval, p.mean, self.depth)
+            else {
+                continue;
+            };
+            let Some(ids) = self.map.get(&fp) else {
+                continue;
+            };
+            matched += 1;
+            scratch.begin_point();
+            for &id in ids {
+                scratch.vote_label(id);
+                scratch.vote_app_deduped(self.label_app[id.0 as usize]);
+            }
+        }
+        scratch.finish(&self.labels, &self.apps, matched, query.points.len())
     }
 }
 

@@ -1,0 +1,455 @@
+//! The engine API: one `Learn`/`Recognize` contract over every backend.
+//!
+//! The repository grew several recognition backends — the single-threaded
+//! [`EfdDictionary`](crate::EfdDictionary) oracle, the conjunctive
+//! [`ComboDictionary`](crate::multi::ComboDictionary), and the serving
+//! forms in `efd-serve` (snapshots, sharded dictionaries, streaming
+//! sessions) — each of which used to expose its own inherent
+//! `learn`/`recognize` signatures. SIREN (Jakobsche et al., 2025) frames
+//! HPC recognition as a pipeline of *interchangeable* identification
+//! methods; this module is that contract:
+//!
+//! * [`Learn`] — anything that absorbs labeled observations.
+//! * [`Recognize`] — anything that answers a [`Query`] with a
+//!   [`Recognition`]. The core method is [`Recognize::recognize_into`],
+//!   which counts votes in caller-owned [`VoteScratch`] — the serving
+//!   layer's zero-allocation hot path is the trait's *native* shape, and
+//!   the convenience forms ([`Recognize::recognize`],
+//!   [`Recognize::recognize_batch`]) are provided on top.
+//! * [`ParallelRecognize`] — a blanket extension over `Recognize + Sync`
+//!   adding [`recognize_batch_parallel`](ParallelRecognize::recognize_batch_parallel)
+//!   via `efd_util`'s scoped-thread pool, one scratch per worker.
+//!
+//! Both traits are **object-safe**: backends can be selected at runtime as
+//! `Box<dyn Recognize + Send + Sync>` (the CLI's `efd serve --backend`
+//! does exactly that), and forwarding impls for `&R`, `Box<R>`, and
+//! `Arc<R>` keep smart-pointer-wrapped backends usable wherever a
+//! `Recognize` is expected.
+//!
+//! ## Answer contract
+//!
+//! Every implementation must be **answer-equivalent to the
+//! single-threaded oracle** on the same learned content: the returned
+//! [`Recognition`] equals `oracle.recognize(q).normalized()` — i.e.
+//! results are in [`Recognition::normalized`] order, and tie-breaks
+//! follow [`Recognition::best`]'s deterministic lexicographic rule. The
+//! `engine_conformance` test suite instantiates this assertion for every
+//! backend in the workspace.
+
+use efd_telemetry::AppLabel;
+use efd_util::parallel_map_init;
+
+use crate::dictionary::{AppNameId, LabelId, Recognition, Verdict};
+use crate::observation::{LabeledObservation, Query};
+
+/// Reusable dense vote counters — the scratch contract shared by core and
+/// the serving layer.
+///
+/// The oracle's [`EfdDictionary::recognize`](crate::EfdDictionary::recognize)
+/// allocates two fresh hash maps per query to count votes. At serving
+/// rates that allocation (and the re-hashing of every vote) dominates the
+/// O(1) dictionary probes, so engine implementations count votes in
+/// **dense arrays indexed by interned id** instead, with a `touched` list
+/// for O(votes) reset. One `VoteScratch` lives per worker thread and is
+/// reused across every query that thread answers.
+///
+/// Construct with `Default` and pass to [`Recognize::recognize_into`];
+/// [`ParallelRecognize::recognize_batch_parallel`] manages one per worker
+/// automatically. Backend authors drive it with the voting methods below;
+/// [`VoteScratch::finish`] drains the counts into a [`Recognition`] and
+/// resets the scratch for the next query.
+#[derive(Debug, Default, Clone)]
+pub struct VoteScratch {
+    /// Vote count per `LabelId` index; zero except for touched ids.
+    label_counts: Vec<u32>,
+    /// Vote count per `AppNameId` index; zero except for touched ids.
+    app_counts: Vec<u32>,
+    touched_labels: Vec<LabelId>,
+    touched_apps: Vec<AppNameId>,
+    /// Apps already credited for the current point (one vote per app per
+    /// matched point, however many inputs share the entry).
+    point_apps: Vec<AppNameId>,
+}
+
+impl VoteScratch {
+    /// Grow the dense counters to cover `labels`/`apps` interned ids.
+    /// Counters keep their (all-zero) state; growth never clears votes.
+    pub fn ensure(&mut self, labels: usize, apps: usize) {
+        if self.label_counts.len() < labels {
+            self.label_counts.resize(labels, 0);
+        }
+        if self.app_counts.len() < apps {
+            self.app_counts.resize(apps, 0);
+        }
+    }
+
+    /// One vote for a label.
+    #[inline]
+    pub fn vote_label(&mut self, id: LabelId) {
+        let c = &mut self.label_counts[id.index()];
+        if *c == 0 {
+            self.touched_labels.push(id);
+        }
+        *c += 1;
+    }
+
+    /// One vote for an application (caller guarantees per-point dedup, or
+    /// uses [`VoteScratch::begin_point`]/[`VoteScratch::vote_app_deduped`]).
+    #[inline]
+    pub fn vote_app(&mut self, id: AppNameId) {
+        let c = &mut self.app_counts[id.index()];
+        if *c == 0 {
+            self.touched_apps.push(id);
+        }
+        *c += 1;
+    }
+
+    /// Reset the per-point app dedup set.
+    #[inline]
+    pub fn begin_point(&mut self) {
+        self.point_apps.clear();
+    }
+
+    /// Vote for an app at most once per point (mirrors the oracle's
+    /// per-entry dedup for entries whose labels share an application).
+    #[inline]
+    pub fn vote_app_deduped(&mut self, id: AppNameId) {
+        if !self.point_apps.contains(&id) {
+            self.point_apps.push(id);
+            self.vote_app(id);
+        }
+    }
+
+    /// Drain the accumulated **app** votes into the answer the paper's
+    /// evaluation scores ([`Recognition::best`]): the most-voted
+    /// application, breaking ties by lexicographically smallest name.
+    /// `None` when nothing matched. Resets the scratch; never allocates.
+    pub fn finish_best<'a>(&mut self, apps: &'a [String]) -> Option<&'a str> {
+        let mut top = 0u32;
+        let mut best: Option<&'a str> = None;
+        for &id in &self.touched_apps {
+            let votes = self.app_counts[id.index()];
+            let name = apps[id.index()].as_str();
+            if votes > top || (votes == top && best.is_some_and(|b| name < b)) {
+                top = votes;
+                best = Some(name);
+            }
+        }
+        for id in self.touched_apps.drain(..) {
+            self.app_counts[id.index()] = 0;
+        }
+        for id in self.touched_labels.drain(..) {
+            self.label_counts[id.index()] = 0;
+        }
+        best
+    }
+
+    /// Drain the accumulated votes into a [`Recognition`] in
+    /// [`Recognition::normalized`] order, resetting the scratch for the
+    /// next query. `labels`/`apps` resolve interned ids to names.
+    pub fn finish(
+        &mut self,
+        labels: &[AppLabel],
+        apps: &[String],
+        matched_points: usize,
+        total_points: usize,
+    ) -> Recognition {
+        let mut app_votes: Vec<(String, u32)> = Vec::with_capacity(self.touched_apps.len());
+        for id in self.touched_apps.drain(..) {
+            let c = &mut self.app_counts[id.index()];
+            app_votes.push((apps[id.index()].clone(), *c));
+            *c = 0;
+        }
+        let mut label_votes: Vec<(AppLabel, u32)> = Vec::with_capacity(self.touched_labels.len());
+        for id in self.touched_labels.drain(..) {
+            let c = &mut self.label_counts[id.index()];
+            label_votes.push((labels[id.index()].clone(), *c));
+            *c = 0;
+        }
+
+        // Sort once, directly in the normalized order (same comparators as
+        // `Recognition::normalized`, which is then a no-op on this value).
+        app_votes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        label_votes.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| (&a.0.app, &a.0.input).cmp(&(&b.0.app, &b.0.input)))
+        });
+
+        let verdict = match app_votes.first() {
+            None => Verdict::Unknown,
+            Some(&(_, top)) => {
+                // The tied prefix is already name-sorted.
+                let mut tied: Vec<String> = app_votes
+                    .iter()
+                    .take_while(|&&(_, v)| v == top)
+                    .map(|(a, _)| a.clone())
+                    .collect();
+                if tied.len() == 1 {
+                    Verdict::Recognized(tied.pop().expect("one tied app"))
+                } else {
+                    Verdict::Ambiguous(tied)
+                }
+            }
+        };
+
+        Recognition {
+            verdict,
+            app_votes,
+            label_votes,
+            matched_points,
+            total_points,
+        }
+    }
+}
+
+/// A recognition system that absorbs labeled observations.
+///
+/// Learning is incremental — "learning new applications is as simple as
+/// adding new keys" (paper §4) — and implementations may intern, index,
+/// or buffer however they like, as long as a subsequent [`Recognize`]
+/// call reflects everything learned so far.
+///
+/// ```
+/// use efd_core::engine::{Learn, Recognize};
+/// use efd_core::{EfdDictionary, LabeledObservation, Query, RoundingDepth};
+/// use efd_telemetry::{AppLabel, Interval, MetricId};
+///
+/// // Generic over any learnable backend:
+/// fn teach<E: Learn>(engine: &mut E) {
+///     engine.learn(&LabeledObservation {
+///         label: AppLabel::new("ft", "X"),
+///         query: Query::from_node_means(MetricId(0), Interval::PAPER_DEFAULT,
+///                                       &[6020.0, 6019.0]),
+///     });
+/// }
+///
+/// let mut dict = EfdDictionary::new(RoundingDepth::new(2));
+/// teach(&mut dict);
+/// let q = Query::from_node_means(MetricId(0), Interval::PAPER_DEFAULT, &[6001.0]);
+/// assert_eq!(Recognize::recognize(&dict, &q).best(), Some("ft"));
+/// ```
+pub trait Learn {
+    /// Absorb one labeled observation.
+    fn learn(&mut self, obs: &LabeledObservation);
+
+    /// Absorb a batch (dataset order = insertion order, which fixes the
+    /// paper's first-learned tie-array ordering where a backend records
+    /// it). Implementations that fit a model once over the whole batch
+    /// (e.g. classifier adapters) may override this to defer work.
+    fn learn_all(&mut self, observations: &[LabeledObservation]) {
+        for o in observations {
+            self.learn(o);
+        }
+    }
+}
+
+/// A recognition system that answers queries.
+///
+/// The core method is [`Recognize::recognize_into`]: vote counting in
+/// caller-owned [`VoteScratch`], so hot paths amortize allocations across
+/// queries. [`Recognize::recognize`] and [`Recognize::recognize_batch`]
+/// are provided conveniences; `Sync` backends additionally get
+/// [`ParallelRecognize::recognize_batch_parallel`] for free.
+///
+/// Implementations return answers in [`Recognition::normalized`] order
+/// and must be answer-equivalent to the single-threaded
+/// [`EfdDictionary`](crate::EfdDictionary) oracle on the same learned
+/// content (see the module docs).
+///
+/// ```
+/// use efd_core::engine::Recognize;
+/// use efd_core::{EfdDictionary, LabeledObservation, Query, RoundingDepth};
+/// use efd_telemetry::{AppLabel, Interval, MetricId};
+///
+/// let mut dict = EfdDictionary::new(RoundingDepth::new(2));
+/// dict.learn(&LabeledObservation {
+///     label: AppLabel::new("cg", "Y"),
+///     query: Query::from_node_means(MetricId(0), Interval::PAPER_DEFAULT, &[8110.0; 4]),
+/// });
+///
+/// // Backends are selected at runtime through the object-safe trait:
+/// let engine: Box<dyn Recognize> = Box::new(dict);
+/// let q = Query::from_node_means(MetricId(0), Interval::PAPER_DEFAULT, &[8093.0; 4]);
+/// assert_eq!(engine.recognize(&q).best(), Some("cg"));
+/// assert_eq!(engine.recognize_batch(std::slice::from_ref(&q)).len(), 1);
+/// ```
+pub trait Recognize {
+    /// Recognize one query, counting votes in caller-owned `scratch`.
+    ///
+    /// The scratch is reset by the call itself (via
+    /// [`VoteScratch::finish`]) and is immediately reusable; backends
+    /// with their own aggregation structure (e.g. conjunctive combo keys)
+    /// may ignore it.
+    fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition;
+
+    /// Recognize one query with fresh scratch (allocates; prefer
+    /// [`Recognize::recognize_into`] or the batch forms on hot paths).
+    fn recognize(&self, query: &Query) -> Recognition {
+        let mut scratch = VoteScratch::default();
+        self.recognize_into(query, &mut scratch)
+    }
+
+    /// Recognize every query sequentially, one shared scratch, results in
+    /// input order. `Sync` backends can use
+    /// [`ParallelRecognize::recognize_batch_parallel`] instead.
+    fn recognize_batch(&self, queries: &[Query]) -> Vec<Recognition> {
+        let mut scratch = VoteScratch::default();
+        queries
+            .iter()
+            .map(|q| self.recognize_into(q, &mut scratch))
+            .collect()
+    }
+}
+
+impl<R: Recognize + ?Sized> Recognize for &R {
+    fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
+        (**self).recognize_into(query, scratch)
+    }
+}
+
+impl<R: Recognize + ?Sized> Recognize for Box<R> {
+    fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
+        (**self).recognize_into(query, scratch)
+    }
+}
+
+impl<R: Recognize + ?Sized> Recognize for std::sync::Arc<R> {
+    fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
+        (**self).recognize_into(query, scratch)
+    }
+}
+
+/// Parallel batch recognition for `Sync` backends.
+///
+/// Blanket-implemented for every `Recognize + Sync` type (including trait
+/// objects like `dyn Recognize + Send + Sync`), so any thread-safe
+/// backend fans batches out over `efd_util`'s scoped-thread pool with one
+/// [`VoteScratch`] per worker — no per-query allocation, results in input
+/// order, thread count from `efd_util::num_threads` (`EFD_THREADS`
+/// overrides).
+pub trait ParallelRecognize: Recognize + Sync {
+    /// Recognize every query across worker threads, results in input
+    /// order. Answers equal [`Recognize::recognize_batch`] on the same
+    /// queries.
+    fn recognize_batch_parallel(&self, queries: &[Query]) -> Vec<Recognition> {
+        parallel_map_init(queries, VoteScratch::default, |scratch, q| {
+            self.recognize_into(q, scratch)
+        })
+    }
+}
+
+impl<R: Recognize + Sync + ?Sized> ParallelRecognize for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EfdDictionary, RoundingDepth};
+    use efd_telemetry::{Interval, MetricId};
+
+    fn lab(app: &str, input: &str) -> AppLabel {
+        AppLabel::new(app, input)
+    }
+
+    #[test]
+    fn finish_resets_for_reuse() {
+        let labels = [lab("sp", "X"), lab("bt", "X")];
+        let apps = ["sp".to_string(), "bt".to_string()];
+        let mut s = VoteScratch::default();
+        s.ensure(2, 2);
+        s.begin_point();
+        s.vote_label(LabelId::from_index(0));
+        s.vote_app_deduped(AppNameId::from_index(0));
+        let r = s.finish(&labels, &apps, 1, 1);
+        assert_eq!(r.verdict, Verdict::Recognized("sp".into()));
+
+        // Second use sees a clean slate.
+        let r = s.finish(&labels, &apps, 0, 3);
+        assert_eq!(r.verdict, Verdict::Unknown);
+        assert!(r.app_votes.is_empty());
+        assert_eq!(r.total_points, 3);
+    }
+
+    #[test]
+    fn per_point_app_dedup() {
+        // Two inputs of the same app on one entry: one app vote.
+        let labels = [lab("ft", "X"), lab("ft", "Y")];
+        let apps = ["ft".to_string()];
+        let mut s = VoteScratch::default();
+        s.ensure(2, 1);
+        s.begin_point();
+        for i in 0..2 {
+            s.vote_label(LabelId::from_index(i));
+            s.vote_app_deduped(AppNameId::from_index(0));
+        }
+        let r = s.finish(&labels, &apps, 1, 1);
+        assert_eq!(r.app_votes, vec![("ft".into(), 1)]);
+        assert_eq!(r.label_votes.len(), 2);
+    }
+
+    #[test]
+    fn tie_produces_sorted_ambiguous() {
+        let labels = [lab("sp", "X"), lab("bt", "X")];
+        let apps = ["sp".to_string(), "bt".to_string()];
+        let mut s = VoteScratch::default();
+        s.ensure(2, 2);
+        for i in 0..2 {
+            s.begin_point();
+            s.vote_label(LabelId::from_index(i));
+            s.vote_app_deduped(AppNameId::from_index(i));
+        }
+        let r = s.finish(&labels, &apps, 2, 2);
+        // normalized(): lexicographic tie array.
+        assert_eq!(r.verdict, Verdict::Ambiguous(vec!["bt".into(), "sp".into()]));
+        assert_eq!(r.best(), Some("bt"));
+    }
+
+    #[test]
+    fn trait_recognize_matches_normalized_oracle() {
+        const M: MetricId = MetricId(0);
+        const W: Interval = Interval::PAPER_DEFAULT;
+        let mut d = EfdDictionary::new(RoundingDepth::new(2));
+        for (app, mean) in [("sp", 7520.0), ("bt", 7530.0), ("ft", 6020.0)] {
+            for n in 0..4u16 {
+                d.insert_raw(M, efd_telemetry::NodeId(n), W, mean, &lab(app, "X"));
+            }
+        }
+        let queries = [
+            Query::from_node_means(M, W, &[7511.0, 7522.0, 7533.0, 7544.0]),
+            Query::from_node_means(M, W, &[6001.0; 4]),
+            Query::from_node_means(M, W, &[1.0; 4]),
+        ];
+        let mut scratch = VoteScratch::default();
+        for q in &queries {
+            let inherent = d.recognize(q).normalized();
+            assert_eq!(Recognize::recognize(&d, q), inherent);
+            assert_eq!(d.recognize_into(q, &mut scratch), inherent);
+        }
+        let batch = Recognize::recognize_batch(&d, &queries);
+        let par = d.recognize_batch_parallel(&queries);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batch[i], d.recognize(q).normalized());
+            assert_eq!(par[i], batch[i]);
+        }
+    }
+
+    #[test]
+    fn forwarding_impls_preserve_answers() {
+        const M: MetricId = MetricId(0);
+        const W: Interval = Interval::PAPER_DEFAULT;
+        let mut d = EfdDictionary::new(RoundingDepth::new(2));
+        d.insert_raw(M, efd_telemetry::NodeId(0), W, 6020.0, &lab("ft", "X"));
+        let q = Query::from_node_means(M, W, &[6004.0]);
+        let expected = Recognize::recognize(&d, &q);
+
+        let by_ref: &EfdDictionary = &d;
+        assert_eq!(Recognize::recognize(&by_ref, &q), expected);
+        let arc = std::sync::Arc::new(d.clone());
+        assert_eq!(Recognize::recognize(&arc, &q), expected);
+        let boxed: Box<dyn Recognize + Send + Sync> = Box::new(d);
+        assert_eq!(boxed.recognize(&q), expected);
+        assert_eq!(
+            boxed.recognize_batch_parallel(std::slice::from_ref(&q))[0],
+            expected
+        );
+    }
+}

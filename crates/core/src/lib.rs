@@ -25,6 +25,10 @@
 //!   (future work §6): recognition robust to unknown start offsets.
 //! * [`reverse`] — reverse lookup: predict future resource usage of a known
 //!   application from its stored fingerprints (future work §6).
+//! * [`engine`] — the engine API: object-safe [`Learn`]/[`Recognize`]
+//!   traits (and the [`VoteScratch`] dense-vote contract) unifying every
+//!   backend — core dictionaries, combo keys, and the `efd-serve` forms —
+//!   behind one interface.
 //! * [`online`] — streaming recognizer: feed live samples, get a verdict
 //!   the moment the fingerprint window closes.
 //! * [`serialize`] — JSON dumps of dictionaries ("learning new applications
@@ -38,6 +42,7 @@
 pub mod align;
 pub mod binfmt;
 pub mod dictionary;
+pub mod engine;
 pub mod fingerprint;
 pub mod maintenance;
 pub mod multi;
@@ -52,6 +57,7 @@ pub use binfmt::{BinFormatError, Efdb};
 pub use dictionary::{
     AppNameId, DictionaryParts, DictionaryStats, EfdDictionary, LabelId, Recognition, Verdict,
 };
+pub use engine::{Learn, ParallelRecognize, Recognize, VoteScratch};
 pub use fingerprint::Fingerprint;
 pub use observation::{LabeledObservation, ObsPoint, Query};
 pub use rounding::{round_to_depth, RoundingDepth};

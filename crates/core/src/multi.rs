@@ -124,6 +124,58 @@ impl ComboDictionary {
         id
     }
 
+    /// Rebuild a learned **single-metric** [`EfdDictionary`] as
+    /// conjunctive combo keys: one observation per stored
+    /// `(fingerprint, label)` pair (re-rounding an already-rounded mean is
+    /// idempotent, so the key set is preserved). On single-metric queries
+    /// the result is answer-equivalent to the source dictionary.
+    ///
+    /// Returns `None` unless the dictionary spans exactly one metric —
+    /// reconstructing *joint* multi-metric observations from a
+    /// disjunctive store is ill-posed (the per-metric entries no longer
+    /// record which means co-occurred).
+    ///
+    /// ```
+    /// use efd_core::multi::ComboDictionary;
+    /// use efd_core::{EfdDictionary, Query, RoundingDepth};
+    /// use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
+    ///
+    /// let mut dict = EfdDictionary::new(RoundingDepth::new(2));
+    /// dict.insert_raw(MetricId(0), NodeId(0), Interval::PAPER_DEFAULT, 6020.0,
+    ///                 &AppLabel::new("ft", "X"));
+    /// let combo = ComboDictionary::from_single_metric(&dict).unwrap();
+    /// let q = Query::from_node_means(MetricId(0), Interval::PAPER_DEFAULT, &[6004.0]);
+    /// assert_eq!(combo.recognize(&q).best(), dict.recognize(&q).best());
+    /// ```
+    pub fn from_single_metric(dict: &crate::dictionary::EfdDictionary) -> Option<Self> {
+        let mut metrics: Vec<MetricId> = Vec::new();
+        for (fp, _) in dict.entries() {
+            if !metrics.contains(&fp.metric) {
+                metrics.push(fp.metric);
+            }
+        }
+        let [metric] = metrics.as_slice() else {
+            return None;
+        };
+        let mut combo = Self::new(vec![*metric], dict.depth());
+        for (fp, labels) in dict.entries() {
+            for label in labels {
+                combo.learn(&LabeledObservation {
+                    label: label.clone(),
+                    query: Query {
+                        points: vec![crate::observation::ObsPoint {
+                            metric: fp.metric,
+                            node: fp.node,
+                            interval: fp.interval,
+                            mean: fp.mean(),
+                        }],
+                    },
+                });
+            }
+        }
+        Some(combo)
+    }
+
     /// Learn one labeled observation.
     pub fn learn(&mut self, obs: &LabeledObservation) {
         let keys = self.combo_keys(&obs.query);
@@ -200,6 +252,34 @@ impl ComboDictionary {
             matched_points: matched,
             total_points,
         }
+    }
+}
+
+impl crate::engine::Learn for ComboDictionary {
+    fn learn(&mut self, obs: &LabeledObservation) {
+        ComboDictionary::learn(self, obs);
+    }
+
+    fn learn_all(&mut self, observations: &[LabeledObservation]) {
+        ComboDictionary::learn_all(self, observations);
+    }
+}
+
+/// Conjunctive keys as an engine backend.
+///
+/// The combo path groups points into per-(node, interval) tuples before
+/// voting, so it has its own aggregation structure and ignores the dense
+/// scratch; answers are returned in [`Recognition::normalized`] order per
+/// the engine contract. Note `total_points` counts *complete metric
+/// combinations*, not raw points — identical to the raw point count only
+/// when every configured metric is present and finite.
+impl crate::engine::Recognize for ComboDictionary {
+    fn recognize_into(
+        &self,
+        query: &Query,
+        _scratch: &mut crate::engine::VoteScratch,
+    ) -> Recognition {
+        self.recognize(query).normalized()
     }
 }
 
@@ -291,6 +371,40 @@ mod tests {
         let r = combo.recognize(&q);
         assert_eq!(r.total_points, 0);
         assert_eq!(r.verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn from_single_metric_is_answer_equivalent() {
+        use crate::dictionary::EfdDictionary;
+
+        let mut dict = EfdDictionary::new(RoundingDepth::new(2));
+        for (app, means) in [("ft", [6020.0, 6019.0]), ("sp", [7520.0, 7121.0])] {
+            for (n, &mean) in means.iter().enumerate() {
+                dict.insert_raw(M0, NodeId(n as u16), W, mean, &AppLabel::new(app, "X"));
+            }
+        }
+        let combo = ComboDictionary::from_single_metric(&dict).expect("one metric");
+        assert_eq!(combo.len(), dict.len());
+        for means in [[6001.0, 5995.0], [7511.0, 7102.0], [1.0, 2.0]] {
+            let q = crate::observation::Query::from_node_means(M0, W, &means);
+            assert_eq!(
+                combo.recognize(&q).normalized(),
+                dict.recognize(&q).normalized()
+            );
+        }
+    }
+
+    #[test]
+    fn from_single_metric_rejects_empty_and_multi_metric() {
+        use crate::dictionary::EfdDictionary;
+
+        let empty = EfdDictionary::new(RoundingDepth::new(2));
+        assert!(ComboDictionary::from_single_metric(&empty).is_none());
+
+        let mut two = EfdDictionary::new(RoundingDepth::new(2));
+        two.insert_raw(M0, NodeId(0), W, 6020.0, &AppLabel::new("ft", "X"));
+        two.insert_raw(M1, NodeId(0), W, 4010.0, &AppLabel::new("ft", "X"));
+        assert!(ComboDictionary::from_single_metric(&two).is_none());
     }
 
     #[test]

@@ -88,7 +88,11 @@ serde::impl_serde_struct!(DumpEntry {
 });
 
 /// Errors restoring a dump.
+///
+/// Marked `#[non_exhaustive]`: future dump validations may add variants
+/// without a semver break, so downstream matches need a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum RestoreError {
     /// A dumped metric name is absent from the catalog.
     UnknownMetric(String),

@@ -49,6 +49,8 @@ proptest! {
                 Verdict::Recognized(a) => a == &obs.label.app,
                 Verdict::Ambiguous(apps) => apps.iter().any(|a| a == &obs.label.app),
                 Verdict::Unknown => false,
+                // Verdict is #[non_exhaustive].
+                _ => false,
             };
             prop_assert!(hit, "lost {} at depth {depth}: {:?}", obs.label, r.verdict);
         }
@@ -101,6 +103,8 @@ proptest! {
                 Verdict::Recognized(x) => x == &obs.label.app,
                 Verdict::Ambiguous(apps) => apps.iter().any(|x| x == &obs.label.app),
                 Verdict::Unknown => false,
+                // Verdict is #[non_exhaustive].
+                _ => false,
             };
             prop_assert!(hit, "merge lost {}", obs.label);
         }
@@ -118,6 +122,8 @@ proptest! {
                 Verdict::Recognized(a) => a == "sp",
                 Verdict::Ambiguous(apps) => apps.iter().any(|a| a == "sp"),
                 Verdict::Unknown => false,
+                // Verdict is #[non_exhaustive].
+                _ => false,
             };
             prop_assert!(!mentions_sp);
             prop_assert!(r.app_votes.iter().all(|(a, _)| a != "sp"));

@@ -4,6 +4,10 @@
 //! * [`classifier`] — one trait over both systems (EFD and the Taxonomist
 //!   baseline) so every experiment runs them identically, plus feature /
 //!   window-mean caches so repeated fits don't regenerate telemetry.
+//! * [`engine`] — adapters between the engine API and the harness:
+//!   ml classifier families (forest / kNN / Gaussian NB) as
+//!   `Learn`/`Recognize` backends, and any engine backend as an
+//!   [`ExecutionClassifier`].
 //! * [`experiments`] — normal fold, soft/hard input, soft/hard unknown
 //!   (paper §4), scored with scikit-learn-compatible macro F1.
 //! * [`screening`] — per-metric normal-fold F-scores (paper Table 3).
@@ -16,11 +20,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod classifier;
+pub mod engine;
 pub mod experiments;
 pub mod paper;
 pub mod report;
 pub mod screening;
 
 pub use classifier::{EfdClassifier, ExecutionClassifier, TaxonomistClassifier};
+pub use engine::{EngineClassifier, MlBackend, MlFamily};
 pub use experiments::{run_experiment, EvalOptions, ExperimentKind, ExperimentResult};
 pub use screening::{screen_metrics, MetricScore};

@@ -4,21 +4,30 @@
 //! tick, a telemetry flush), not one query at a time. [`BatchRecognizer`]
 //! answers a `&[Query]` with [`efd_util::parallel_map_init`]: dynamic
 //! load balancing (queries differ in node count and match rate), one
-//! [`crate::VoteScratch`] per worker, results in input order. Thread
-//! count follows `efd_util::num_threads` (`EFD_THREADS` overrides).
+//! [`VoteScratch`] per worker, results in input order. Thread count
+//! follows `efd_util::num_threads` (`EFD_THREADS` overrides).
+//!
+//! The recognizer is generic over **any** engine backend
+//! (`R: Recognize + Sync`, defaulting to [`Snapshot`]) — including trait
+//! objects, so a runtime-selected `Arc<dyn Recognize + Send + Sync>`
+//! serves through the same front end as a statically-typed snapshot
+//! (`efd serve --backend …` does exactly that).
 
+use std::fmt;
 use std::sync::Arc;
 
+use efd_core::engine::{Recognize, VoteScratch};
 use efd_core::{Query, Recognition};
 use efd_util::parallel_map_init;
 
 use crate::snapshot::Snapshot;
-use crate::votes::VoteScratch;
 
-/// Parallel batch front end over a published [`Snapshot`].
+/// Parallel batch front end over a published engine backend.
 ///
-/// Cloning is cheap (an `Arc` bump); clones serve the same snapshot until
-/// one of them [`swap`](BatchRecognizer::swap)s in a newer publication.
+/// Cloning is cheap (an `Arc` bump); clones serve the same backend until
+/// one of them [`swap`](BatchRecognizer::swap)s in a newer publication
+/// (RCU semantics: in-flight batches finish on the backend they started
+/// with).
 ///
 /// ```
 /// use std::sync::Arc;
@@ -40,33 +49,84 @@ use crate::votes::VoteScratch;
 /// assert_eq!(answers.len(), 64);
 /// assert!(answers.iter().all(|r| r.best() == Some("ft")));
 /// ```
-#[derive(Debug, Clone)]
-pub struct BatchRecognizer {
-    snapshot: Arc<Snapshot>,
+///
+/// Runtime backend selection through the object-safe trait:
+///
+/// ```
+/// use std::sync::Arc;
+/// use efd_core::{EfdDictionary, Query, Recognize, RoundingDepth};
+/// use efd_serve::{BatchRecognizer, ShardedDictionary, Snapshot};
+/// use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
+///
+/// let mut dict = EfdDictionary::new(RoundingDepth::new(2));
+/// dict.insert_raw(MetricId(0), NodeId(0), Interval::PAPER_DEFAULT, 6020.0,
+///                 &AppLabel::new("ft", "X"));
+/// let backend: Arc<dyn Recognize + Send + Sync> = if true {
+///     Arc::new(Snapshot::freeze(&dict, 8))
+/// } else {
+///     Arc::new(ShardedDictionary::from_parts(dict.to_parts(), 8))
+/// };
+/// let server = BatchRecognizer::new(backend);
+/// let q = Query::from_node_means(MetricId(0), Interval::PAPER_DEFAULT, &[6004.0]);
+/// assert_eq!(server.recognize_batch(std::slice::from_ref(&q))[0].best(), Some("ft"));
+/// ```
+pub struct BatchRecognizer<R: ?Sized = Snapshot> {
+    backend: Arc<R>,
 }
 
-impl BatchRecognizer {
-    /// Serve the given snapshot.
-    pub fn new(snapshot: Arc<Snapshot>) -> Self {
-        Self { snapshot }
+impl<R: ?Sized> Clone for BatchRecognizer<R> {
+    fn clone(&self) -> Self {
+        Self {
+            backend: Arc::clone(&self.backend),
+        }
+    }
+}
+
+impl<R: ?Sized> fmt::Debug for BatchRecognizer<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchRecognizer").finish_non_exhaustive()
+    }
+}
+
+impl<R: Recognize + Send + Sync + ?Sized> BatchRecognizer<R> {
+    /// Serve the given backend.
+    pub fn new(backend: Arc<R>) -> Self {
+        Self { backend }
     }
 
-    /// The snapshot currently served.
-    pub fn snapshot(&self) -> &Arc<Snapshot> {
-        &self.snapshot
+    /// The backend currently served.
+    pub fn backend(&self) -> &Arc<R> {
+        &self.backend
     }
 
     /// Swap in a newer publication. In-flight batches on other clones
-    /// finish against the snapshot they started with (RCU semantics).
-    pub fn swap(&mut self, snapshot: Arc<Snapshot>) {
-        self.snapshot = snapshot;
+    /// finish against the backend they started with (RCU semantics).
+    pub fn swap(&mut self, backend: Arc<R>) {
+        self.backend = backend;
     }
 
     /// Recognize every query, in input order, across worker threads.
     pub fn recognize_batch(&self, queries: &[Query]) -> Vec<Recognition> {
         parallel_map_init(queries, VoteScratch::default, |scratch, q| {
-            self.snapshot.recognize_with(q, scratch)
+            self.backend.recognize_into(q, scratch)
         })
+    }
+}
+
+/// A batch front end is itself an engine backend (single queries hit the
+/// underlying backend directly), so recognizers compose anywhere a
+/// [`Recognize`] is expected.
+impl<R: Recognize + Sync + ?Sized> Recognize for BatchRecognizer<R> {
+    fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
+        self.backend.recognize_into(query, scratch)
+    }
+}
+
+impl BatchRecognizer<Snapshot> {
+    /// The snapshot currently served (alias of
+    /// [`BatchRecognizer::backend`] for the default instantiation).
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.backend
     }
 
     /// Scored-verdict-only batch ([`efd_core::Recognition::best`] per
@@ -76,7 +136,7 @@ impl BatchRecognizer {
     /// returned answers allocate.
     pub fn best_batch(&self, queries: &[Query]) -> Vec<Option<String>> {
         parallel_map_init(queries, VoteScratch::default, |scratch, q| {
-            self.snapshot.best_with(q, scratch).map(str::to_string)
+            self.backend.best_with(q, scratch).map(str::to_string)
         })
     }
 }
@@ -117,6 +177,28 @@ mod tests {
         assert_eq!(
             bests,
             vec![Some("ft".into()), Some("cg".into()), Some("lu".into()), None]
+        );
+    }
+
+    #[test]
+    fn dyn_backend_matches_static() {
+        let snap = snapshot();
+        let static_server = BatchRecognizer::new(Arc::clone(&snap));
+        let dyn_backend: Arc<dyn Recognize + Send + Sync> = snap;
+        let dyn_server = BatchRecognizer::new(dyn_backend);
+        let batch: Vec<Query> = [6010.0, 8090.0, 1.0]
+            .iter()
+            .map(|&m| Query::from_node_means(M, W, &[m; 4]))
+            .collect();
+        assert_eq!(
+            dyn_server.recognize_batch(&batch),
+            static_server.recognize_batch(&batch)
+        );
+        // The front end is itself a backend.
+        let q = &batch[0];
+        assert_eq!(
+            Recognize::recognize(&dyn_server, q),
+            static_server.snapshot().recognize(q)
         );
     }
 

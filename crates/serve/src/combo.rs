@@ -9,16 +9,18 @@
 
 use std::sync::Arc;
 
+use efd_core::engine::{Recognize, VoteScratch};
 use efd_core::multi::ComboDictionary;
 use efd_core::{Query, Recognition};
-use efd_util::parallel_map;
 
 /// An immutable, shareable freeze of a [`ComboDictionary`].
 ///
 /// `ComboDictionary::recognize` is already a `&self` read; what freezing
 /// adds is the serving contract — the inner dictionary can no longer be
-/// mutated, clones share it via `Arc`, and answers are normalized so they
-/// do not depend on the learn order of the frozen dictionary.
+/// mutated, clones share it via `Arc`, and answers go through the engine
+/// API ([`Recognize`]) in [`Recognition::normalized`] order. Parallel
+/// batches come from the blanket
+/// [`ParallelRecognize`](efd_core::engine::ParallelRecognize) extension.
 #[derive(Debug, Clone)]
 pub struct ComboSnapshot {
     inner: Arc<ComboDictionary>,
@@ -41,16 +43,14 @@ impl ComboSnapshot {
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
     }
+}
 
-    /// Recognize one query with conjunctive multi-metric keys, in
-    /// [`Recognition::normalized`] order.
-    pub fn recognize(&self, query: &Query) -> Recognition {
-        self.inner.recognize(query).normalized()
-    }
-
-    /// Recognize a batch across worker threads, results in input order.
-    pub fn recognize_batch(&self, queries: &[Query]) -> Vec<Recognition> {
-        parallel_map(queries, |q| self.recognize(q))
+/// The served combo form as an engine backend: conjunctive multi-metric
+/// voting against the frozen dictionary, answers in
+/// [`Recognition::normalized`] order.
+impl Recognize for ComboSnapshot {
+    fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
+        self.inner.recognize_into(query, scratch)
     }
 }
 

@@ -29,14 +29,27 @@
 //!   holding an `Arc<Snapshot>`, so live jobs keep recognizing while the
 //!   dictionary behind them is re-published.
 //!
+//! ## The engine API
+//!
+//! Every serving form implements [`efd_core::engine::Recognize`] (and
+//! [`ShardedDictionary`] also [`efd_core::engine::Learn`]): callers hold
+//! a `Box<dyn Recognize + Send + Sync>` or stay generic over
+//! `R: Recognize + Sync` and pick the backend at runtime. The trait's
+//! core method `recognize_into` *is* this crate's zero-allocation scratch
+//! path — [`VoteScratch`] lives in `efd_core::engine`, so core and serve
+//! share one scratch contract. This crate re-exports the traits
+//! ([`Learn`], [`Recognize`], [`ParallelRecognize`], [`VoteScratch`]) for
+//! convenience.
+//!
 //! ## Equivalence contract
 //!
 //! Serving must not change answers. Every recognition produced here equals
 //! the single-threaded [`efd_core::EfdDictionary`] oracle on the same
 //! entries, modulo the deterministic ordering of
-//! [`efd_core::Recognition::normalized`] — the concurrency tests assert
-//! exactly that, and [`efd_core::Recognition::best`] breaks ties without
-//! reference to learn order, so concurrent learning cannot skew scoring.
+//! [`efd_core::Recognition::normalized`] — the concurrency tests and the
+//! cross-backend `engine_conformance` suite assert exactly that, and
+//! [`efd_core::Recognition::best`] breaks ties without reference to learn
+//! order, so concurrent learning cannot skew scoring.
 //!
 //! ## Typical lifecycle
 //!
@@ -56,14 +69,14 @@ pub mod combo;
 pub mod online;
 pub mod shard;
 pub mod snapshot;
-pub mod votes;
 
 pub use batch::BatchRecognizer;
 pub use combo::ComboSnapshot;
 pub use online::OnlineSession;
 pub use shard::ShardedDictionary;
 pub use snapshot::Snapshot;
-pub use votes::VoteScratch;
+
+pub use efd_core::engine::{Learn, ParallelRecognize, Recognize, VoteScratch};
 
 use efd_core::Fingerprint;
 use efd_util::FxHasher;

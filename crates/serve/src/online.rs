@@ -19,6 +19,7 @@ use efd_telemetry::streaming::MultiWindowAggregator;
 use efd_telemetry::{Interval, MetricId, NodeId};
 use efd_util::FxHashMap;
 
+use efd_core::engine::{Recognize, VoteScratch};
 use efd_core::{ObsPoint, Query, Recognition};
 
 use crate::snapshot::Snapshot;
@@ -151,6 +152,17 @@ impl OnlineSession {
             points: self.points.clone(),
         };
         self.snapshot.recognize(&q)
+    }
+}
+
+/// A streaming session as an engine backend: ad-hoc queries are answered
+/// against the publication the session **currently** holds (the same
+/// snapshot its streaming verdict would use), so a session table can be
+/// served through the one engine API alongside every other backend.
+/// Stream state (collected window means) is not consulted — pass a query.
+impl Recognize for OnlineSession {
+    fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
+        self.snapshot.recognize_into(query, scratch)
     }
 }
 

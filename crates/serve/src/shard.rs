@@ -16,6 +16,7 @@
 use std::sync::RwLock;
 
 use efd_core::dictionary::{AppNameId, LabelId};
+use efd_core::engine::{Learn, Recognize, VoteScratch};
 use efd_core::{
     DictionaryParts, EfdDictionary, Fingerprint, LabeledObservation, Query, Recognition,
     RoundingDepth,
@@ -24,7 +25,6 @@ use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
 use efd_util::FxHashMap;
 
 use crate::snapshot::Snapshot;
-use crate::votes::VoteScratch;
 use crate::{shard_bits_for, shard_of};
 
 /// The shared label/application interner. Kept outside the shards so one
@@ -75,7 +75,7 @@ type Shard = RwLock<FxHashMap<Fingerprint, Vec<LabelId>>>;
 /// ```
 /// use std::thread;
 /// use efd_core::{LabeledObservation, Query, RoundingDepth};
-/// use efd_serve::ShardedDictionary;
+/// use efd_serve::{Recognize, ShardedDictionary};
 /// use efd_telemetry::{AppLabel, Interval, MetricId};
 ///
 /// let dict = ShardedDictionary::new(RoundingDepth::new(2), 8);
@@ -261,47 +261,6 @@ impl ShardedDictionary {
         }
     }
 
-    /// Recognize an execution against the live shards (allocates fresh
-    /// scratch; hot loops should reuse one via
-    /// [`ShardedDictionary::recognize_with`]).
-    pub fn recognize(&self, query: &Query) -> Recognition {
-        let mut scratch = VoteScratch::default();
-        self.recognize_with(query, &mut scratch)
-    }
-
-    /// [`ShardedDictionary::recognize`] with caller-owned scratch, reused
-    /// across queries (mirrors [`Snapshot::recognize_with`]).
-    ///
-    /// Holds the interner read lock for the duration (so vote counters
-    /// can be sized once) and takes each point's shard read lock briefly.
-    /// Concurrent writers may publish entries between points — recognition
-    /// against a moving dictionary is per-shard atomic, not a global
-    /// point-in-time view; freeze a [`Snapshot`] when that matters.
-    pub fn recognize_with(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
-        let table = self.table.read().expect("label table poisoned");
-        scratch.ensure(table.labels.len(), table.apps.len());
-        let mut matched = 0usize;
-        for p in &query.points {
-            let Some(fp) = Fingerprint::from_raw(p.metric, p.node, p.interval, p.mean, self.depth)
-            else {
-                continue;
-            };
-            let shard = self.shards[shard_of(&fp, self.shard_bits)]
-                .read()
-                .expect("shard poisoned");
-            let Some(ids) = shard.get(&fp) else {
-                continue;
-            };
-            matched += 1;
-            scratch.begin_point();
-            for &id in ids {
-                scratch.vote_label(id);
-                scratch.vote_app_deduped(table.label_app[id.index()]);
-            }
-        }
-        scratch.finish(&table.labels, &table.apps, matched, query.points.len())
-    }
-
     /// Publish the current state as an immutable [`Snapshot`].
     ///
     /// Shards are copied one at a time under their read locks while the
@@ -348,6 +307,54 @@ impl ShardedDictionary {
             apps: table.apps,
             label_app: table.label_app,
         })
+    }
+}
+
+/// The live form as an engine backend.
+///
+/// `recognize_into` holds the interner read lock for the duration (so
+/// vote counters can be sized once) and takes each point's shard read
+/// lock briefly. Concurrent writers may publish entries between points —
+/// recognition against a moving dictionary is per-shard atomic, not a
+/// global point-in-time view; freeze a [`Snapshot`] when that matters.
+impl Recognize for ShardedDictionary {
+    fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
+        let table = self.table.read().expect("label table poisoned");
+        scratch.ensure(table.labels.len(), table.apps.len());
+        let mut matched = 0usize;
+        for p in &query.points {
+            let Some(fp) = Fingerprint::from_raw(p.metric, p.node, p.interval, p.mean, self.depth)
+            else {
+                continue;
+            };
+            let shard = self.shards[shard_of(&fp, self.shard_bits)]
+                .read()
+                .expect("shard poisoned");
+            let Some(ids) = shard.get(&fp) else {
+                continue;
+            };
+            matched += 1;
+            scratch.begin_point();
+            for &id in ids {
+                scratch.vote_label(id);
+                scratch.vote_app_deduped(table.label_app[id.index()]);
+            }
+        }
+        scratch.finish(&table.labels, &table.apps, matched, query.points.len())
+    }
+}
+
+/// Exclusive-access learning via the engine contract. The inherent
+/// [`ShardedDictionary::learn`] family stays the concurrent API (`&self`,
+/// callable from many threads); the trait form simply forwards, so the
+/// sharded dictionary slots into any `E: Learn` harness.
+impl Learn for ShardedDictionary {
+    fn learn(&mut self, obs: &LabeledObservation) {
+        ShardedDictionary::learn(self, obs);
+    }
+
+    fn learn_all(&mut self, observations: &[LabeledObservation]) {
+        ShardedDictionary::learn_all(self, observations);
     }
 }
 

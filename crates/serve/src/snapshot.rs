@@ -12,12 +12,12 @@
 
 use efd_core::binfmt::{BinFormatError, Efdb};
 use efd_core::dictionary::{AppNameId, LabelId};
+use efd_core::engine::{Recognize, VoteScratch};
 use efd_core::{DictionaryParts, EfdDictionary, Fingerprint, Query, Recognition, RoundingDepth};
 use efd_telemetry::metric::MetricCatalog;
 use efd_telemetry::AppLabel;
 use efd_util::FxHashMap;
 
-use crate::votes::VoteScratch;
 use crate::{shard_bits_for, shard_of};
 
 /// One frozen entry: the stored labels plus their deduplicated apps (in
@@ -32,11 +32,14 @@ struct SnapEntry {
 ///
 /// Cheap to share (`Arc<Snapshot>`), safe to read from any number of
 /// threads, and answer-identical to the [`EfdDictionary`] it was frozen
-/// from (modulo [`Recognition::normalized`] ordering).
+/// from (modulo [`Recognition::normalized`] ordering). Recognition goes
+/// through the engine API ([`Recognize`], re-exported from this crate):
+/// `recognize_into` is the zero-allocation scratch path, `recognize` /
+/// `recognize_batch` are the provided conveniences.
 ///
 /// ```
 /// use efd_core::{EfdDictionary, Query, RoundingDepth};
-/// use efd_serve::Snapshot;
+/// use efd_serve::{Recognize, Snapshot};
 /// use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
 ///
 /// let mut dict = EfdDictionary::new(RoundingDepth::new(2));
@@ -127,7 +130,7 @@ impl Snapshot {
     ///
     /// ```
     /// use efd_core::{binfmt, EfdDictionary, Query, RoundingDepth};
-    /// use efd_serve::Snapshot;
+    /// use efd_serve::{Recognize, Snapshot};
     /// use efd_telemetry::catalog::small_catalog;
     /// use efd_telemetry::{AppLabel, Interval, NodeId};
     ///
@@ -243,44 +246,6 @@ impl Snapshot {
         self.labels.len()
     }
 
-    /// Recognize one query (allocates fresh scratch; prefer
-    /// [`crate::BatchRecognizer`] or [`Snapshot::recognize_with`] on hot
-    /// paths).
-    ///
-    /// The result is in [`Recognition::normalized`] order and equals the
-    /// source dictionary's normalized recognition.
-    pub fn recognize(&self, query: &Query) -> Recognition {
-        let mut scratch = VoteScratch::default();
-        self.recognize_with(query, &mut scratch)
-    }
-
-    /// Recognize one query using caller-owned scratch (zero allocation in
-    /// the vote-counting loop; the scratch is reusable across queries and
-    /// threads own one each in batch mode).
-    pub fn recognize_with(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
-        scratch.ensure(self.labels.len(), self.apps.len());
-        let mut matched = 0usize;
-        for p in &query.points {
-            let Some(fp) = Fingerprint::from_raw(p.metric, p.node, p.interval, p.mean, self.depth)
-            else {
-                continue;
-            };
-            let Some(entry) = self.shards[shard_of(&fp, self.shard_bits)].get(&fp) else {
-                continue;
-            };
-            matched += 1;
-            for &id in entry.labels.iter() {
-                scratch.vote_label(id);
-            }
-            // `entry.apps` is pre-deduplicated at freeze time: one vote per
-            // app per matched point, no per-point dedup set needed.
-            for &app in entry.apps.iter() {
-                scratch.vote_app(app);
-            }
-        }
-        scratch.finish(&self.labels, &self.apps, matched, query.points.len())
-    }
-
     /// Fast-path recognition that skips building the full [`Recognition`]:
     /// returns only what the paper's evaluation scores
     /// ([`Recognition::best`]) — the recognized application, the
@@ -311,6 +276,35 @@ impl Snapshot {
             }
         }
         scratch.finish_best(&self.apps)
+    }
+}
+
+/// The published form as an engine backend — `recognize_into` is the
+/// serving layer's zero-allocation read path: dense per-thread vote
+/// counters, no locks, answers in [`Recognition::normalized`] order.
+impl Recognize for Snapshot {
+    fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
+        scratch.ensure(self.labels.len(), self.apps.len());
+        let mut matched = 0usize;
+        for p in &query.points {
+            let Some(fp) = Fingerprint::from_raw(p.metric, p.node, p.interval, p.mean, self.depth)
+            else {
+                continue;
+            };
+            let Some(entry) = self.shards[shard_of(&fp, self.shard_bits)].get(&fp) else {
+                continue;
+            };
+            matched += 1;
+            for &id in entry.labels.iter() {
+                scratch.vote_label(id);
+            }
+            // `entry.apps` is pre-deduplicated at freeze time: one vote per
+            // app per matched point, no per-point dedup set needed.
+            for &app in entry.apps.iter() {
+                scratch.vote_app(app);
+            }
+        }
+        scratch.finish(&self.labels, &self.apps, matched, query.points.len())
     }
 }
 

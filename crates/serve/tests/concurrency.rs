@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use efd_core::{EfdDictionary, LabeledObservation, Query, Recognition, RoundingDepth};
-use efd_serve::{BatchRecognizer, ShardedDictionary, Snapshot};
+use efd_serve::{BatchRecognizer, Recognize, ShardedDictionary, Snapshot};
 use efd_telemetry::{AppLabel, Interval, MetricId};
 use efd_util::SplitMix64;
 

@@ -5,9 +5,15 @@
 //! ```
 //!
 //! The paper's pitch is low latency: related work waits for the whole
-//! execution, the EFD answers two minutes in. This example streams a job's
-//! telemetry sample by sample into an [`OnlineRecognizer`] and prints the
-//! moment the verdict drops.
+//! execution, the EFD answers two minutes in. This example streams a
+//! job's telemetry sample by sample into a served [`OnlineSession`]
+//! (the `'static`, snapshot-backed streaming form) and prints the moment
+//! the verdict drops. Because the session also implements the engine
+//! API's [`Recognize`] trait, the same object answers ad-hoc queries
+//! against its current publication — a session table doubles as a fleet
+//! of ordinary backends.
+
+use std::sync::Arc;
 
 use efd::prelude::*;
 use efd_telemetry::catalog::small_catalog;
@@ -26,6 +32,10 @@ fn main() {
     let efd = Efd::fit_traces(EfdConfig::single_metric(metric), &train);
     println!("dictionary ready (depth {})", efd.depth());
 
+    // Publish once; the streaming session holds the Arc and can swap to a
+    // newer publication mid-stream.
+    let snapshot = Arc::new(Snapshot::freeze(efd.dictionary(), 8));
+
     // "Live" job: materialize the full trace, then replay it as a stream —
     // exactly what an LDMS subscriber would deliver.
     let job = dataset.materialize(streamed_run, &selection);
@@ -37,8 +47,8 @@ fn main() {
     );
 
     let nodes: Vec<NodeId> = job.nodes.iter().map(|n| n.node).collect();
-    let mut recognizer = OnlineRecognizer::new(
-        efd.dictionary(),
+    let mut session = OnlineSession::new(
+        Arc::clone(&snapshot),
         &[metric],
         &nodes,
         vec![Interval::PAPER_DEFAULT],
@@ -47,12 +57,12 @@ fn main() {
     'stream: for t in 0..job.duration_s {
         for node in &job.nodes {
             let value = node.series[0].at(t).unwrap_or(f64::NAN);
-            if let Some(recognition) = recognizer.push(node.node, metric, t, value) {
+            if let Some(recognition) = session.push(node.node, metric, t, value) {
                 println!(
                     "t = {t:>3} s: verdict {:?} after {} window means \
                      ({} of {} matched); job still has {} s to run",
                     recognition.verdict,
-                    recognizer.collected(),
+                    session.collected(),
                     recognition.matched_points,
                     recognition.total_points,
                     job.duration_s - t
@@ -63,4 +73,18 @@ fn main() {
         }
     }
     println!("ground truth was: {}", job.label);
+
+    // The session is an engine backend too: ad-hoc queries answer against
+    // the publication it currently serves, identically to the snapshot.
+    let probe = Query::from_trace(
+        &dataset.materialize_prefix(0, &selection, 120),
+        &[metric],
+        &[Interval::PAPER_DEFAULT],
+    );
+    let via_session = Recognize::recognize(&session, &probe);
+    assert_eq!(via_session, Recognize::recognize(&snapshot, &probe));
+    println!(
+        "ad-hoc query through the session (engine API): {:?}",
+        via_session.verdict
+    );
 }

@@ -54,6 +54,8 @@ fn main() {
             Verdict::Recognized(app) => app.clone(),
             Verdict::Ambiguous(apps) => format!("{apps:?} (tie)"),
             Verdict::Unknown => "unknown".into(),
+            // Verdict is #[non_exhaustive]; render future variants via Debug.
+            other => format!("{other:?}"),
         };
         if recognition.best() == Some(truth.app.as_str()) {
             correct += 1;
