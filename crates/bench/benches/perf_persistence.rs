@@ -18,13 +18,22 @@
 //! dictionary, and every restored form answers a 1 000-query batch
 //! identically to the original.
 //!
+//! A second table times the durability path ([`efd_core::wal`]): the
+//! per-record cost of a write-ahead `append` under each [`SyncPolicy`]
+//! (`always` pays an fsync per record, `batch` amortizes one per 32,
+//! `none` leaves syncing to the OS), and the cost of `recover` — replaying
+//! the whole log back into a dictionary, the restart path of
+//! `efd serve --wal`.
+//!
 //! Knobs: `EFD_PERSIST_REPS` (default 5, best-of-N wall clock),
-//! `EFD_PERSIST_MAX` (default 100000, trims the size sweep).
+//! `EFD_PERSIST_MAX` (default 100000, trims the size sweep),
+//! `EFD_PERSIST_WAL` (default 2000, WAL records per append run).
 
 use std::time::Instant;
 
 use criterion::black_box;
-use efd_core::observation::{ObsPoint, Query};
+use efd_core::observation::{LabeledObservation, ObsPoint, Query};
+use efd_core::wal::{self, LearnRecord, SyncPolicy, WalDir, WalOptions, WalRecord};
 use efd_core::{binfmt, serialize, EfdDictionary, RoundingDepth};
 use efd_serve::{Recognize, Snapshot};
 use efd_telemetry::catalog::taxonomist_catalog;
@@ -165,6 +174,80 @@ fn main() {
     }
     println!("{}", table.render());
 
+    // ---- Durability: WAL append + recovery replay -------------------
+    let wal_records = env_usize("EFD_PERSIST_WAL", 2_000);
+    let stream: Vec<LabeledObservation> = (0..wal_records)
+        .map(|i| LabeledObservation {
+            label: AppLabel::new(format!("app{:03}", i % 50), "X"),
+            query: Query {
+                points: (0..4)
+                    .map(|n| ObsPoint {
+                        metric: metrics[0],
+                        node: NodeId(n as u16),
+                        interval: Interval::PAPER_DEFAULT,
+                        mean: key_mean(i * 4 + n),
+                    })
+                    .collect(),
+            },
+        })
+        .collect();
+    let records: Vec<WalRecord> = stream
+        .iter()
+        .map(|o| WalRecord::Learn(LearnRecord::from_observation(o, &catalog)))
+        .collect();
+
+    let mut wal_table = TextTable::new(vec![
+        "sync policy",
+        "records",
+        "append ms",
+        "us/record",
+        "recover ms",
+        "replayed",
+    ])
+    .with_title("Durability: WAL append + recovery replay (best-of-N)".to_string());
+
+    let mut replay_ok = true;
+    for (name, sync) in [
+        ("always", SyncPolicy::Always),
+        ("batch", SyncPolicy::EveryN(32)),
+        ("none", SyncPolicy::Never),
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "efd-persist-wal-{name}-{}",
+            std::process::id()
+        ));
+        let options = WalOptions {
+            sync,
+            // Keep the whole run in one log: this leg times append +
+            // replay, not segment freezing.
+            segment_bytes: u64::MAX,
+        };
+        let t_append = time_best_of(reps, || {
+            let _ = std::fs::remove_dir_all(&dir);
+            let (mut w, _) =
+                WalDir::open(&dir, RoundingDepth::new(6), &catalog, options).unwrap();
+            for r in &records {
+                w.append(r).unwrap();
+            }
+            w.sync().unwrap();
+        });
+        let t_recover = time_best_of(reps, || {
+            black_box(wal::recover(&dir, &catalog).unwrap().dictionary.len());
+        });
+        let recovery = wal::recover(&dir, &catalog).unwrap();
+        replay_ok &= recovery.replayed == wal_records && recovery.tail_fault.is_none();
+        wal_table.add_row(vec![
+            name.to_string(),
+            wal_records.to_string(),
+            format!("{:.2}", t_append * 1e3),
+            format!("{:.2}", t_append * 1e6 / wal_records as f64),
+            format!("{:.2}", t_recover * 1e3),
+            recovery.replayed.to_string(),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!("{}", wal_table.render());
+
     println!("\nacceptance:");
     println!(
         "  EFDB load vs JSON parse, 10k keys : {speedup_at_10k:.1}x (threshold 5x) — {}",
@@ -173,5 +256,9 @@ fn main() {
     println!(
         "  1k-query round-trip equivalence   : {}",
         if equivalence_ok { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "  WAL full-stream recovery replay   : {}",
+        if replay_ok { "PASS" } else { "FAIL" }
     );
 }

@@ -11,6 +11,11 @@
 //! efd export-dict --out <path>            alias of `dump --format json`
 //! efd serve --load <path> [--queries f]   batch recognition service demo
 //!           [--backend snapshot|sharded|combo]   (one engine API, any backend)
+//! efd serve --wal <dir> [--learn N]       durable serving: write-ahead logged
+//!           [--wal-sync always|batch|none]      learning, crash recovery on restart
+//! efd compact --wal <dir> [--out p]       merge WAL segments+log into canonical EFDB
+//! efd wal-verify --wal <dir>              audit a WAL directory offline
+//! efd bench-snapshot [--out f]            machine-readable perf snapshot (BENCH_6.json)
 //! efd report --out <path>                 write EXPERIMENTS.md content
 //! efd help
 //! ```
@@ -586,9 +591,195 @@ impl ServeBackend {
 
 }
 
+/// Run the query batch through an engine and print the `batch:` and
+/// `verdicts:` lines (the latter is what the CI crash-recovery smoke
+/// diffs between a recovered WAL and a clean replay). Returns the
+/// elapsed batch time for the caller's speedup line.
+fn serve_batch(
+    engine: std::sync::Arc<dyn Recognize + Send + Sync>,
+    queries: &[efd_core::Query],
+    repeat: usize,
+) -> std::time::Duration {
+    let server = efd_serve::BatchRecognizer::new(engine);
+    let start = std::time::Instant::now();
+    let mut answers = Vec::new();
+    for _ in 0..repeat {
+        answers = server.recognize_batch(queries);
+    }
+    let elapsed = start.elapsed();
+    let total = queries.len() * repeat;
+
+    let (mut recognized, mut ambiguous, mut unknown) = (0usize, 0usize, 0usize);
+    for r in &answers {
+        match &r.verdict {
+            efd_core::Verdict::Recognized(_) => recognized += 1,
+            efd_core::Verdict::Ambiguous(_) => ambiguous += 1,
+            // `Verdict` is #[non_exhaustive]; count future variants with
+            // the safeguard bucket.
+            _ => unknown += 1,
+        }
+    }
+    println!(
+        "batch:      {total} queries in {:.3} s → {:.0} q/s ({} worker threads)",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+        efd_util::num_threads(queries.len()),
+    );
+    println!(
+        "verdicts:   {recognized} recognized, {ambiguous} ambiguous, {unknown} unknown (per batch of {})",
+        queries.len()
+    );
+    elapsed
+}
+
+/// Print the single-thread oracle throughput and speedup lines.
+fn serve_oracle(dict: &EfdDictionary, queries: &[efd_core::Query], repeat: usize, batch: std::time::Duration) {
+    let total = queries.len() * repeat;
+    let start = std::time::Instant::now();
+    for _ in 0..repeat {
+        for q in queries {
+            std::hint::black_box(dict.recognize(q).matched_points);
+        }
+    }
+    let base = start.elapsed();
+    println!(
+        "oracle:     {total} queries in {:.3} s → {:.0} q/s (single-thread EfdDictionary)",
+        base.as_secs_f64(),
+        total as f64 / base.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "speedup:    {:.2}x",
+        base.as_secs_f64() / batch.as_secs_f64().max(1e-9)
+    );
+}
+
+/// The query workload for `efd serve`: an explicit file, or a synthetic
+/// stream derived from the dataset.
+fn serve_queries(args: &Args, d: &Dataset) -> Result<Vec<efd_core::Query>, String> {
+    match (args.flag("queries"), args.flag_parsed::<usize>("synth")?) {
+        (Some(path), None) => load_queries(path, d.catalog()),
+        (None, Some(n)) => Ok(synth_queries(d, n.max(1))),
+        (None, None) => Ok(synth_queries(d, 10_000)),
+        (Some(_), Some(_)) => Err("--queries and --synth are mutually exclusive".into()),
+    }
+}
+
+/// Synthesize a labeled learn stream from the dataset: cycle its runs
+/// with small deterministic jitter (distinct from the query jitter seed,
+/// so learning keeps adding fresh keys like a live cluster would).
+fn synth_learn_stream(d: &Dataset, count: usize) -> Vec<efd_core::LabeledObservation> {
+    let metric = headline(d);
+    let sel = efd_telemetry::trace::MetricSelection::single(metric);
+    let per_run: Vec<Vec<f64>> = d
+        .window_means_all(&sel, efd_telemetry::Interval::PAPER_DEFAULT)
+        .into_iter()
+        .map(|nodes| nodes.into_iter().map(|m| m[0]).collect())
+        .collect();
+    let labels = d.labels();
+    let mut rng = efd_util::SplitMix64::new(0x1EA2);
+    (0..count)
+        .map(|i| {
+            let run = i % per_run.len();
+            let means: Vec<f64> = per_run[run]
+                .iter()
+                .map(|m| m * (1.0 + (rng.next_f64() - 0.5) * 0.004))
+                .collect();
+            efd_core::LabeledObservation {
+                label: labels[run].clone(),
+                query: efd_core::Query::from_node_means(
+                    metric,
+                    efd_telemetry::Interval::PAPER_DEFAULT,
+                    &means,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// `efd serve --wal <dir>`: durable serving. Recover the directory (or
+/// start fresh), optionally learn a synthetic stream write-ahead, then
+/// answer the query batch from a published snapshot of the recovered
+/// state.
+fn cmd_serve_wal(args: &Args, dir: &str) -> Result<(), String> {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let d = dataset_from(args)?;
+    let depth_raw: u8 = args.flag_parsed("depth")?.unwrap_or(2);
+    let depth = efd_core::RoundingDepth::try_new(depth_raw)
+        .ok_or_else(|| format!("invalid --depth {depth_raw} (1..=17)"))?;
+    let sync_raw = args.flag("wal-sync").unwrap_or("batch");
+    let sync = efd_core::SyncPolicy::parse(sync_raw)
+        .ok_or_else(|| format!("invalid --wal-sync {sync_raw:?} (always|batch|none|<n>)"))?;
+    let shards: usize = args.flag_parsed("shards")?.unwrap_or(8);
+    let repeat: usize = args.flag_parsed("repeat")?.unwrap_or(1).max(1);
+    let learn_n: usize = args.flag_parsed("learn")?.unwrap_or(0);
+
+    let options = efd_core::wal::WalOptions {
+        sync,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let (served, recovery) =
+        efd_serve::DurableDictionary::open(std::path::Path::new(dir), depth, shards, d.catalog(), options)
+            .map_err(|e| format!("{dir}: {e}"))?;
+    let open_ms = t.elapsed().as_secs_f64() * 1e3;
+    if let Some(fault) = &recovery.tail_fault {
+        eprintln!(
+            "warning: wal tail: {fault}; discarded {} bytes past the valid prefix",
+            recovery.truncated_bytes
+        );
+    }
+    println!(
+        "recovered:  {dir} — segment {}, {} log records replayed, {:.2} ms (sync {sync_raw})",
+        recovery.segments, recovery.replayed, open_ms,
+    );
+
+    let mut oracle = recovery.dictionary;
+    if learn_n > 0 {
+        let stream = synth_learn_stream(&d, learn_n);
+        let t = Instant::now();
+        for obs in &stream {
+            served.learn(obs).map_err(|e| format!("{dir}: {e}"))?;
+        }
+        served.sync().map_err(|e| format!("{dir}: {e}"))?;
+        let el = t.elapsed();
+        println!(
+            "learned:    {learn_n} observations write-ahead in {:.3} s → {:.0} learns/s",
+            el.as_secs_f64(),
+            learn_n as f64 / el.as_secs_f64().max(1e-9),
+        );
+        for obs in &stream {
+            oracle.learn(obs);
+        }
+    }
+
+    let live = served.dictionary();
+    println!(
+        "dictionary: {} entries, depth {}, {} shards (durable, write-ahead logged)",
+        live.len(),
+        live.depth(),
+        live.shard_count(),
+    );
+    let snapshot = live.snapshot();
+    println!("backend:    durable — served from a published snapshot of the live shards");
+
+    let queries = serve_queries(args, &d)?;
+    let elapsed = serve_batch(Arc::new(snapshot), &queries, repeat);
+    serve_oracle(&oracle, &queries, repeat, elapsed);
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use std::sync::Arc;
     use std::time::Instant;
+
+    if let Some(dir) = args.flag("wal") {
+        if args.flag("load").is_some() || args.flag("dict").is_some() {
+            return Err("--wal and --load are mutually exclusive".into());
+        }
+        return cmd_serve_wal(args, dir);
+    }
 
     let backend_kind = ServeBackend::from_args(args)?;
     let dict_path = match (args.flag("dict"), args.flag("load")) {
@@ -596,7 +787,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         (Some(_), Some(_)) => return Err("--dict and --load are mutually exclusive".into()),
         (None, None) => {
             return Err(
-                "need --load <dump.json|dict.efdb> (produce one with `efd dump`)".into(),
+                "need --load <dump.json|dict.efdb> or --wal <dir> (produce a dump with `efd dump`)"
+                    .into(),
             )
         }
     };
@@ -614,7 +806,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let raw = std::fs::read(dict_path).map_err(|e| format!("{dict_path}: {e}"))?;
     let (dict, fast_snapshot) = if raw.starts_with(&binfmt::MAGIC) {
         let t = Instant::now();
-        let efdb = binfmt::read(&raw).map_err(|e| format!("{dict_path}: {e}"))?;
+        // Decode failures report the structured BinFormatError plus the
+        // file size, so a truncation is immediately diagnosable.
+        let efdb = binfmt::read(&raw)
+            .map_err(|e| format!("{dict_path}: {e} (file is {} bytes)", raw.len()))?;
         let decode = t.elapsed();
         if !efdb.matches_catalog(d.catalog()) {
             println!(
@@ -654,12 +849,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         (dict, None)
     };
 
-    let queries = match (args.flag("queries"), args.flag_parsed::<usize>("synth")?) {
-        (Some(path), None) => load_queries(path, d.catalog())?,
-        (None, Some(n)) => synth_queries(&d, n.max(1)),
-        (None, None) => synth_queries(&d, 10_000),
-        (Some(_), Some(_)) => return Err("--queries and --synth are mutually exclusive".into()),
-    };
+    let queries = serve_queries(args, &d)?;
     println!(
         "dictionary: {} entries, depth {}, {} labels, {} apps",
         dict.len(),
@@ -704,53 +894,230 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
     };
 
-    let server = efd_serve::BatchRecognizer::new(engine);
-    let start = Instant::now();
-    let mut answers = Vec::new();
-    for _ in 0..repeat {
-        answers = server.recognize_batch(&queries);
-    }
-    let elapsed = start.elapsed();
-    let total = queries.len() * repeat;
-
-    let (mut recognized, mut ambiguous, mut unknown) = (0usize, 0usize, 0usize);
-    for r in &answers {
-        match &r.verdict {
-            efd_core::Verdict::Recognized(_) => recognized += 1,
-            efd_core::Verdict::Ambiguous(_) => ambiguous += 1,
-            // `Verdict` is #[non_exhaustive]; count future variants with
-            // the safeguard bucket.
-            _ => unknown += 1,
-        }
-    }
-    println!(
-        "batch:      {total} queries in {:.3} s → {:.0} q/s ({} worker threads)",
-        elapsed.as_secs_f64(),
-        total as f64 / elapsed.as_secs_f64().max(1e-9),
-        efd_util::num_threads(queries.len()),
-    );
-    println!(
-        "verdicts:   {recognized} recognized, {ambiguous} ambiguous, {unknown} unknown (per batch of {})",
-        queries.len()
-    );
-
+    let elapsed = serve_batch(engine, &queries, repeat);
     // Single-thread oracle loop over the same work, for the speedup line.
-    let start = Instant::now();
-    for _ in 0..repeat {
-        for q in &queries {
-            std::hint::black_box(dict.recognize(q).matched_points);
+    serve_oracle(&dict, &queries, repeat, elapsed);
+    Ok(())
+}
+
+/// `efd compact --wal <dir> [--out <path>]`: merge a WAL directory's
+/// newest segment + log tail into one canonical EFDB segment.
+fn cmd_compact(args: &Args) -> Result<(), String> {
+    let dir = args.flag("wal").ok_or("need --wal <dir>")?;
+    let d = dataset_from(args)?;
+    let report = efd_core::wal::compact_in_place(std::path::Path::new(dir), d.catalog())
+        .map_err(|e| format!("{dir}: {e}"))?;
+    println!(
+        "compacted:  {dir} — {} log records folded in, {} superseded segment(s) removed",
+        report.replayed, report.removed,
+    );
+    println!(
+        "segment:    {} — {} keys (canonical EFDB)",
+        report.segment.display(),
+        report.keys,
+    );
+    if let Some(out) = args.flag("out") {
+        std::fs::copy(&report.segment, out).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote:      {out} (byte-identical to the compacted segment)");
+    }
+    Ok(())
+}
+
+/// `efd wal-verify --wal <dir> [--strict true]`: audit a WAL directory
+/// offline — header, record scan, segment resolution — reporting the
+/// valid prefix and any tail fault with its byte offset. Hard errors
+/// (bad header, missing/corrupt segment) always exit nonzero; tail
+/// faults are tolerated (truncate-and-warn is the recovery contract)
+/// unless `--strict true`.
+fn cmd_wal_verify(args: &Args) -> Result<(), String> {
+    use efd_core::wal;
+
+    let dir = args.flag("wal").ok_or("need --wal <dir>")?;
+    let strict = matches!(args.flag("strict"), Some("true") | Some("1"));
+    let d = dataset_from(args)?;
+
+    let log_path = format!("{dir}/{}", wal::LOG_FILE);
+    let bytes = std::fs::read(&log_path).map_err(|e| format!("{log_path}: {e}"))?;
+    let replay = wal::read_log(&bytes).map_err(|e| format!("{log_path}: {e}"))?;
+    let (mut learns, mut forgets) = (0usize, 0usize);
+    for rec in &replay.records {
+        match rec {
+            wal::WalRecord::Learn(_) => learns += 1,
+            _ => forgets += 1,
         }
     }
-    let base = start.elapsed();
     println!(
-        "oracle:     {total} queries in {:.3} s → {:.0} q/s (single-thread EfdDictionary)",
-        base.as_secs_f64(),
-        total as f64 / base.as_secs_f64().max(1e-9),
+        "wal:        {log_path} — {} bytes, depth {}, requires segment {}",
+        bytes.len(),
+        replay.depth.get(),
+        replay.base_segments,
     );
     println!(
-        "speedup:    {:.2}x",
-        base.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
+        "records:    {} valid ({learns} learns, {forgets} forgets), valid prefix {} bytes",
+        replay.records.len(),
+        replay.valid_len,
     );
+
+    let recovery = wal::recover(std::path::Path::new(dir), d.catalog())
+        .map_err(|e| format!("{dir}: {e}"))?;
+    println!(
+        "segments:   newest {} on disk (log requires {})",
+        recovery.segments, replay.base_segments,
+    );
+    println!(
+        "recovered:  {} keys, {} apps, depth {}",
+        recovery.dictionary.len(),
+        recovery.dictionary.app_names().len(),
+        recovery.dictionary.depth(),
+    );
+    match &recovery.tail_fault {
+        None => println!("tail:       clean"),
+        Some(fault) => {
+            println!(
+                "tail:       {fault} ({} bytes past the valid prefix discarded on recovery)",
+                recovery.truncated_bytes
+            );
+            if strict {
+                return Err(format!("{log_path}: {fault}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `efd bench-snapshot [--out BENCH_6.json]`: time the persistence and
+/// durability hot paths and write a machine-readable snapshot (bench
+/// name, config, ns/op, throughput) for trend tracking.
+fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
+    use std::time::Instant;
+
+    let out = args.flag("out").unwrap_or("BENCH_6.json");
+    let keys: usize = args.flag_parsed("keys")?.unwrap_or(10_000);
+    let records: usize = args.flag_parsed("records")?.unwrap_or(2_000);
+    let reps: usize = args.flag_parsed("reps")?.unwrap_or(3).max(1);
+    let d = dataset_from(args)?;
+    let catalog = d.catalog();
+    let metric = headline(&d);
+    let metric_name = catalog.name(metric);
+
+    // A synthetic dictionary with `keys` distinct fingerprints (depth 6
+    // keeps sequential means distinct), mirroring the perf_persistence
+    // bench shape.
+    let depth = efd_core::RoundingDepth::new(6);
+    let mut dict = EfdDictionary::new(depth);
+    for i in 0..keys {
+        dict.insert_raw(
+            metric,
+            efd_telemetry::NodeId((i % 64) as u16),
+            efd_telemetry::Interval::PAPER_DEFAULT,
+            100_000.0 + i as f64,
+            &efd_telemetry::AppLabel::new(format!("app{:03}", i % 50), "X"),
+        );
+    }
+
+    let best_of = |mut f: Box<dyn FnMut() -> usize>| -> (f64, usize) {
+        let mut best = f64::INFINITY;
+        let mut ops = 0;
+        for _ in 0..reps {
+            let t = Instant::now();
+            ops = f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (best, ops)
+    };
+    let mut legs: Vec<(String, &str, f64, usize)> = Vec::new();
+
+    // Leg 1/2: full-dump persistence (JSON parse vs EFDB zero-parse load).
+    let json = serialize::to_json(&dict, catalog);
+    let (secs, _) = best_of(Box::new({
+        let json = json.clone();
+        let catalog = catalog.clone();
+        move || {
+            std::hint::black_box(serialize::from_json(&json, &catalog).expect("own dump parses"));
+            1
+        }
+    }));
+    legs.push(("persistence_json_parse".into(), "dicts", secs, 1));
+    let efdb = binfmt::write_dictionary(&dict, catalog);
+    let (secs, _) = best_of(Box::new({
+        let efdb = efdb.clone();
+        let catalog = catalog.clone();
+        move || {
+            std::hint::black_box(binfmt::read_dictionary(&efdb, &catalog).expect("own efdb reads"));
+            1
+        }
+    }));
+    legs.push(("persistence_efdb_load".into(), "dicts", secs, 1));
+
+    // Leg 3/4: WAL append throughput and cold-start recovery replay.
+    let stream: Vec<efd_core::wal::WalRecord> = (0..records)
+        .map(|i| {
+            efd_core::wal::WalRecord::Learn(efd_core::wal::LearnRecord {
+                app: format!("app{:03}", i % 50),
+                input: "X".into(),
+                points: vec![efd_core::wal::WalPoint {
+                    metric: metric_name.to_string(),
+                    node: (i % 64) as u16,
+                    start: 60,
+                    end: 120,
+                    mean_bits: (200_000.0 + i as f64).to_bits(),
+                }],
+            })
+        })
+        .collect();
+    let wal_dir = std::env::temp_dir().join(format!("efd-bench-wal-{}", std::process::id()));
+    let mut best_append = f64::INFINITY;
+    for _ in 0..reps {
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let (mut wal, _) = efd_core::wal::WalDir::open(
+            &wal_dir,
+            depth,
+            catalog,
+            efd_core::wal::WalOptions {
+                sync: efd_core::SyncPolicy::EveryN(32),
+                ..Default::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let t = Instant::now();
+        for rec in &stream {
+            wal.append(rec).map_err(|e| e.to_string())?;
+        }
+        wal.sync().map_err(|e| e.to_string())?;
+        best_append = best_append.min(t.elapsed().as_secs_f64());
+    }
+    legs.push(("wal_append".into(), "records", best_append, records));
+    let (secs, _) = best_of(Box::new({
+        let wal_dir = wal_dir.clone();
+        let catalog = catalog.clone();
+        move || {
+            let rec = efd_core::wal::recover(&wal_dir, &catalog).expect("bench wal recovers");
+            std::hint::black_box(rec.dictionary.len());
+            rec.replayed
+        }
+    }));
+    legs.push(("recovery_replay".into(), "records", secs, records));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let mut body = String::new();
+    body.push_str("{\n  \"bench\": \"bench-snapshot\",\n");
+    body.push_str(&format!(
+        "  \"config\": {{ \"keys\": {keys}, \"records\": {records}, \"reps\": {reps}, \"sync\": \"batch(32)\" }},\n"
+    ));
+    body.push_str("  \"legs\": [\n");
+    for (i, (name, unit, secs, ops)) in legs.iter().enumerate() {
+        let ns_per_op = secs * 1e9 / (*ops as f64).max(1.0);
+        let per_s = *ops as f64 / secs.max(1e-12);
+        body.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"ops\": {ops}, \"unit\": \"{unit}\", \
+             \"ns_per_op\": {ns_per_op:.1}, \"ops_per_s\": {per_s:.1} }}{}\n",
+            if i + 1 < legs.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(out, &body).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}:");
+    print!("{body}");
     Ok(())
 }
 
@@ -789,6 +1156,13 @@ COMMANDS
   serve                  batch recognition service demo: --load <dump.json|dict.efdb>
                          [--backend snapshot|sharded|combo] [--queries <csv|json>]
                          [--synth N] [--shards N] [--repeat N]
+                         or durable: --wal <dir> [--learn N] [--wal-sync always|batch|none|<n>]
+                         [--depth D] — write-ahead logged learning, recovery on restart
+  compact                merge a WAL directory into one canonical EFDB segment:
+                         --wal <dir> [--out <path>]
+  wal-verify             audit a WAL directory offline: --wal <dir> [--strict true]
+  bench-snapshot         time persistence + WAL hot paths, write machine-readable
+                         results: [--out BENCH_6.json] [--keys N] [--records N] [--reps N]
   report                 write EXPERIMENTS.md content: [--out <path>]
   help                   this text
 
@@ -823,6 +1197,9 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(&args),
         "export-dict" => cmd_export_dict(&args),
         "serve" => cmd_serve(&args),
+        "compact" => cmd_compact(&args),
+        "wal-verify" => cmd_wal_verify(&args),
+        "bench-snapshot" => cmd_bench_snapshot(&args),
         "report" => cmd_report(&args),
         "help" | "--help" | "-h" => {
             print!("{HELP}");

@@ -35,6 +35,9 @@
 //!   is as simple as adding new keys").
 //! * [`binfmt`] — EFDB, the versioned binary dictionary format: zero-parse
 //!   persistence for instant serve cold-starts (spec in `docs/FORMAT.md`).
+//! * [`wal`] — crash-safe incremental persistence: an append-only learn
+//!   log plus LSM-style immutable EFDB segments, with structured-error
+//!   recovery and deterministic fault injection for testing it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -52,6 +55,7 @@ pub mod reverse;
 pub mod rounding;
 pub mod serialize;
 pub mod training;
+pub mod wal;
 
 pub use binfmt::{BinFormatError, Efdb};
 pub use dictionary::{
@@ -62,3 +66,4 @@ pub use fingerprint::Fingerprint;
 pub use observation::{LabeledObservation, ObsPoint, Query};
 pub use rounding::{round_to_depth, RoundingDepth};
 pub use training::{DepthPolicy, Efd, EfdConfig};
+pub use wal::{SyncPolicy, WalDir, WalError, WalRecord};

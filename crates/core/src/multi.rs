@@ -124,7 +124,7 @@ impl ComboDictionary {
         id
     }
 
-    /// Rebuild a learned **single-metric** [`EfdDictionary`] as
+    /// Rebuild a learned **single-metric** [`crate::EfdDictionary`] as
     /// conjunctive combo keys: one observation per stored
     /// `(fingerprint, label)` pair (re-rounding an already-rounded mean is
     /// idempotent, so the key set is preserved). On single-metric queries

@@ -28,6 +28,9 @@
 //!   [`efd_core::online::OnlineRecognizer`]: a `'static` streaming session
 //!   holding an `Arc<Snapshot>`, so live jobs keep recognizing while the
 //!   dictionary behind them is re-published.
+//! * [`DurableDictionary`] — a [`ShardedDictionary`] whose learns are
+//!   written ahead to an [`efd_core::wal`] directory: crash the process,
+//!   reopen, and serve exactly the durably-acknowledged state.
 //!
 //! ## The engine API
 //!
@@ -66,12 +69,14 @@
 
 pub mod batch;
 pub mod combo;
+pub mod durable;
 pub mod online;
 pub mod shard;
 pub mod snapshot;
 
 pub use batch::BatchRecognizer;
 pub use combo::ComboSnapshot;
+pub use durable::DurableDictionary;
 pub use online::OnlineSession;
 pub use shard::ShardedDictionary;
 pub use snapshot::Snapshot;

@@ -271,22 +271,84 @@ impl ShardedDictionary {
     /// being copied; a learner interning a **new** label needs the interner
     /// write lock and therefore waits for the whole copy.
     pub fn snapshot(&self) -> Snapshot {
+        Snapshot::from_parts(self.to_parts(), self.shard_count())
+    }
+
+    /// Copy the current state out as [`DictionaryParts`] — the input to
+    /// snapshots, EFDB dumps, and WAL segment freezes. Same locking
+    /// discipline (and therefore the same per-shard-atomic caveat) as
+    /// [`ShardedDictionary::snapshot`]. Entries are emitted in
+    /// deterministic packed-key order.
+    pub fn to_parts(&self) -> DictionaryParts {
         let table = self.table.read().expect("label table poisoned");
         let mut entries: Vec<(Fingerprint, Vec<LabelId>)> = Vec::new();
         for shard in self.shards.iter() {
             let shard = shard.read().expect("shard poisoned");
             entries.extend(shard.iter().map(|(fp, ids)| (*fp, ids.clone())));
         }
-        Snapshot::from_parts(
-            DictionaryParts {
-                depth: self.depth,
-                entries,
-                labels: table.labels.clone(),
-                apps: table.apps.clone(),
-                label_app: table.label_app.clone(),
-            },
-            self.shard_count(),
-        )
+        entries.sort_by_key(|(fp, _)| fp.pack());
+        DictionaryParts {
+            depth: self.depth,
+            entries,
+            labels: table.labels.clone(),
+            apps: table.apps.clone(),
+            label_app: table.label_app.clone(),
+        }
+    }
+
+    /// Strip the given label ids from every shard, dropping keys whose
+    /// lists empty out. Returns the number of keys dropped entirely.
+    fn strip_ids(&self, victims: &[LabelId]) -> usize {
+        let mut dropped = 0usize;
+        for shard in self.shards.iter() {
+            let mut shard = shard.write().expect("shard poisoned");
+            shard.retain(|_, ids| {
+                ids.retain(|id| !victims.contains(id));
+                if ids.is_empty() {
+                    dropped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        dropped
+    }
+
+    /// Forget every label of application `app` (concurrent-safe). Returns
+    /// the number of keys dropped entirely, like
+    /// [`efd_core::maintenance::forget_app`].
+    ///
+    /// Unlike the core rebuild, the interner is left intact, so the
+    /// surviving labels keep their ids and tie-break order — eviction
+    /// never perturbs how the remaining applications rank.
+    pub fn forget_app(&self, app: &str) -> usize {
+        let victims: Vec<LabelId> = {
+            let table = self.table.read().expect("label table poisoned");
+            let Some(&app_id) = table.app_ids.get(app) else {
+                return 0;
+            };
+            (0..table.labels.len())
+                .map(LabelId::from_index)
+                .filter(|id| table.label_app[id.index()] == app_id)
+                .collect()
+        };
+        self.strip_ids(&victims)
+    }
+
+    /// Forget one specific label (application + input), concurrent-safe.
+    /// Returns the number of keys dropped entirely, like
+    /// [`efd_core::maintenance::forget_label`]. The interner keeps the
+    /// label's id, so survivors' tie-break order is untouched.
+    pub fn forget_label(&self, app: &str, input: &str) -> usize {
+        let victim = {
+            let table = self.table.read().expect("label table poisoned");
+            match table.label_ids.get(&AppLabel::new(app, input)) {
+                Some(&id) => id,
+                None => return 0,
+            }
+        };
+        self.strip_ids(&[victim])
     }
 
     /// Collapse back into a single-threaded [`EfdDictionary`]. Entries are
