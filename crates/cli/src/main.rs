@@ -10,12 +10,12 @@
 //! efd convert --in <a> --out <b>          JSON ↔ EFDB, round-trip verified
 //! efd export-dict --out <path>            alias of `dump --format json`
 //! efd serve --load <path> [--queries f]   batch recognition service demo
-//!           [--backend snapshot|sharded|combo]   (one engine API, any backend)
+//!           [--backend snapshot|sharded|combo|efdb]  (one engine API, any backend)
 //! efd serve --wal <dir> [--learn N]       durable serving: write-ahead logged
 //!           [--wal-sync always|batch|none]      learning, crash recovery on restart
 //! efd compact --wal <dir> [--out p]       merge WAL segments+log into canonical EFDB
 //! efd wal-verify --wal <dir>              audit a WAL directory offline
-//! efd bench-snapshot [--out f]            machine-readable perf snapshot (BENCH_6.json)
+//! efd bench-snapshot [--out f]            machine-readable perf snapshot (BENCH_7.json)
 //! efd report --out <path>                 write EXPERIMENTS.md content
 //! efd help
 //! ```
@@ -575,6 +575,9 @@ enum ServeBackend {
     Sharded,
     /// Conjunctive [`efd_serve::ComboSnapshot`] over the same entries.
     Combo,
+    /// Zero-copy [`efd_serve::EfdbSnapshot`] straight over the loaded
+    /// EFDB bytes (requires an `.efdb` file).
+    Efdb,
 }
 
 impl ServeBackend {
@@ -583,8 +586,9 @@ impl ServeBackend {
             None | Some("snapshot") => Ok(ServeBackend::Snapshot),
             Some("sharded") => Ok(ServeBackend::Sharded),
             Some("combo") => Ok(ServeBackend::Combo),
+            Some("efdb") => Ok(ServeBackend::Efdb),
             Some(other) => Err(format!(
-                "unknown --backend {other:?} (snapshot|sharded|combo)"
+                "unknown --backend {other:?} (snapshot|sharded|combo|efdb)"
             )),
         }
     }
@@ -804,7 +808,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     // intermediate dictionary) is taken only when a snapshot is actually
     // being served.
     let raw = std::fs::read(dict_path).map_err(|e| format!("{dict_path}: {e}"))?;
-    let (dict, fast_snapshot) = if raw.starts_with(&binfmt::MAGIC) {
+    let is_efdb = raw.starts_with(&binfmt::MAGIC);
+    let (dict, fast_snapshot) = if is_efdb {
         let t = Instant::now();
         // Decode failures report the structured BinFormatError plus the
         // file size, so a truncation is immediately diagnosable.
@@ -891,6 +896,25 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 .ok_or("--backend combo needs a non-empty single-metric dictionary")?;
             println!("backend:    combo — {} conjunctive keys", combo.len());
             Arc::new(efd_serve::ComboSnapshot::freeze(combo))
+        }
+        ServeBackend::Efdb => {
+            if !is_efdb {
+                return Err(
+                    "--backend efdb serves EFDB bytes in place; --load a .efdb file \
+                     (a JSON dump has no binary form to map — convert it with `efd convert`)"
+                        .into(),
+                );
+            }
+            let t = Instant::now();
+            let snapshot = efd_serve::EfdbSnapshot::load(raw, d.catalog())
+                .map_err(|e| format!("{dict_path}: {e}"))?;
+            println!(
+                "backend:    efdb — zero-copy over {} bytes, {} keys, load {:.2} ms",
+                snapshot.byte_len(),
+                snapshot.len(),
+                t.elapsed().as_secs_f64() * 1e3,
+            );
+            Arc::new(snapshot)
         }
     };
 
@@ -985,13 +1009,14 @@ fn cmd_wal_verify(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `efd bench-snapshot [--out BENCH_6.json]`: time the persistence and
-/// durability hot paths and write a machine-readable snapshot (bench
-/// name, config, ns/op, throughput) for trend tracking.
+/// `efd bench-snapshot [--out BENCH_7.json]`: time the persistence,
+/// durability, and serving-cold-start hot paths and write a
+/// machine-readable snapshot (bench name, config, ns/op, throughput)
+/// for trend tracking.
 fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
     use std::time::Instant;
 
-    let out = args.flag("out").unwrap_or("BENCH_6.json");
+    let out = args.flag("out").unwrap_or("BENCH_7.json");
     let keys: usize = args.flag_parsed("keys")?.unwrap_or(10_000);
     let records: usize = args.flag_parsed("records")?.unwrap_or(2_000);
     let reps: usize = args.flag_parsed("reps")?.unwrap_or(3).max(1);
@@ -1049,7 +1074,102 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
     }));
     legs.push(("persistence_efdb_load".into(), "dicts", secs, 1));
 
-    // Leg 3/4: WAL append throughput and cold-start recovery replay.
+    // Serving cold start over the same canonical bytes: the owned path
+    // (decode every section, rebuild shard maps) vs the zero-copy path
+    // (validate once, serve in place). The gap is the point of
+    // `EfdbSnapshot` — it must not scale with key count.
+    let (secs, _) = best_of(Box::new({
+        let efdb = efdb.clone();
+        let catalog = catalog.clone();
+        move || {
+            let parsed = binfmt::read(&efdb).expect("own efdb reads");
+            std::hint::black_box(
+                efd_serve::Snapshot::from_efdb(&parsed, &catalog, 8)
+                    .expect("own efdb freezes")
+                    .len(),
+            );
+            1
+        }
+    }));
+    legs.push(("snapshot_coldstart".into(), "loads", secs, 1));
+    let arc_bytes: std::sync::Arc<[u8]> = efdb.clone().into();
+    let (secs, _) = best_of(Box::new({
+        let arc_bytes = std::sync::Arc::clone(&arc_bytes);
+        let catalog = catalog.clone();
+        move || {
+            std::hint::black_box(
+                efd_serve::EfdbSnapshot::load(std::sync::Arc::clone(&arc_bytes), &catalog)
+                    .expect("own efdb checks")
+                    .len(),
+            );
+            1
+        }
+    }));
+    legs.push(("efdb_coldstart".into(), "loads", secs, 1));
+
+    // Hot single-query path over both stores: 8-point queries, ~10%
+    // misses, one reused scratch — the acceptance gate is the zero-copy
+    // store staying within striking distance of the owned one.
+    let owned = std::sync::Arc::new(
+        efd_serve::Snapshot::from_efdb(&binfmt::read(&efdb).expect("own efdb reads"), catalog, 8)
+            .map_err(|e| e.to_string())?,
+    );
+    let zero_copy = std::sync::Arc::new(
+        efd_serve::EfdbSnapshot::load(std::sync::Arc::clone(&arc_bytes), catalog)
+            .map_err(|e| e.to_string())?,
+    );
+    let hot_queries: std::sync::Arc<Vec<efd_core::Query>> = {
+        let mut rng = efd_util::SplitMix64::new(0xEFD7);
+        std::sync::Arc::new(
+            (0..4096)
+                .map(|_| efd_core::Query {
+                    points: (0..8)
+                        .map(|_| {
+                            let i = (rng.next_u64() as usize) % (keys + keys / 10);
+                            efd_core::observation::ObsPoint {
+                                metric,
+                                node: efd_telemetry::NodeId((i % 64) as u16),
+                                interval: efd_telemetry::Interval::PAPER_DEFAULT,
+                                mean: 100_000.0 + i as f64,
+                            }
+                        })
+                        .collect(),
+                })
+                .collect(),
+        )
+    };
+    {
+        // Answers must agree before the numbers mean anything.
+        let mut scratch = efd_core::engine::VoteScratch::default();
+        for q in hot_queries.iter().take(128) {
+            let a = owned.recognize_into(q, &mut scratch);
+            let b = zero_copy.recognize_into(q, &mut scratch);
+            if a != b {
+                return Err("owned and zero-copy stores disagree on the bench query mix".into());
+            }
+        }
+    }
+    for (name, engine) in [
+        ("owned_hot_query", std::sync::Arc::clone(&owned) as std::sync::Arc<dyn Recognize + Send + Sync>),
+        ("zero_copy_hot_query", zero_copy as std::sync::Arc<dyn Recognize + Send + Sync>),
+    ] {
+        let (secs, ops) = best_of(Box::new({
+            let qs = std::sync::Arc::clone(&hot_queries);
+            move || {
+                let mut scratch = efd_core::engine::VoteScratch::default();
+                let mut matched = 0usize;
+                for q in qs.iter() {
+                    matched += engine.recognize_into(q, &mut scratch).matched_points;
+                }
+                std::hint::black_box(matched);
+                qs.len()
+            }
+        }));
+        legs.push((name.into(), "queries", secs, ops));
+    }
+    drop(owned);
+
+    // Leg: WAL append throughput and cold-start recovery replay.
     let stream: Vec<efd_core::wal::WalRecord> = (0..records)
         .map(|i| {
             efd_core::wal::WalRecord::Learn(efd_core::wal::LearnRecord {
@@ -1154,15 +1274,16 @@ COMMANDS
                          [--format efdb|json]; verifies the output round-trips
   export-dict            alias of `dump --format json`: --out <path>
   serve                  batch recognition service demo: --load <dump.json|dict.efdb>
-                         [--backend snapshot|sharded|combo] [--queries <csv|json>]
+                         [--backend snapshot|sharded|combo|efdb] [--queries <csv|json>]
                          [--synth N] [--shards N] [--repeat N]
                          or durable: --wal <dir> [--learn N] [--wal-sync always|batch|none|<n>]
                          [--depth D] — write-ahead logged learning, recovery on restart
   compact                merge a WAL directory into one canonical EFDB segment:
                          --wal <dir> [--out <path>]
   wal-verify             audit a WAL directory offline: --wal <dir> [--strict true]
-  bench-snapshot         time persistence + WAL hot paths, write machine-readable
-                         results: [--out BENCH_6.json] [--keys N] [--records N] [--reps N]
+  bench-snapshot         time persistence + serving cold-start + WAL hot paths, write
+                         machine-readable results: [--out BENCH_7.json] [--keys N]
+                         [--records N] [--reps N]
   report                 write EXPERIMENTS.md content: [--out <path>]
   help                   this text
 

@@ -30,10 +30,15 @@
 //! [`write()`] produces the canonical encoding: one byte stream per
 //! dictionary *content*, independent of learn order of the keys (label
 //! intern order — the tie-break order — is preserved, exactly like the
-//! JSON dump's `label_order`). [`read`] validates everything — magic,
-//! version, layout, checksum, every id — and returns the decoded
-//! [`Efdb`] sections, which thaw into [`DictionaryParts`] or feed the
-//! serving layer's zero-copy snapshot construction directly.
+//! JSON dump's `label_order`). Reading is split in two: [`check`]
+//! validates everything — magic, version, layout, checksum, string
+//! sort, every id, key ordering, postings bounds — exactly once and
+//! returns a borrowing [`EfdbView`] whose section views
+//! ([`KeyRecords`], [`Postings`], [`Strings`]) are typed zero-copy
+//! accessors over the raw bytes; [`read`] is the owned decode on top of
+//! it, returning [`Efdb`] sections that thaw into [`DictionaryParts`].
+//! Zero-copy serving (`efd_serve::EfdbSnapshot`) keeps the checked
+//! buffer and answers queries straight from the view.
 
 use std::fmt;
 
@@ -116,6 +121,15 @@ pub enum BinFormatError {
         /// Number of entries in the indexed table.
         limit: u32,
     },
+    /// The string table is not strictly ascending by UTF-8 bytes — the
+    /// canonical sorted/deduplicated form every writer must produce.
+    /// Validated on read since a hand-edited or adversarial table would
+    /// otherwise silently break the id assignments recorded by the
+    /// metrics/apps/labels sections.
+    UnsortedStrings {
+        /// Index of the first string that is ≤ its predecessor.
+        index: usize,
+    },
     /// The keys section is not strictly ascending (which also guarantees
     /// key uniqueness).
     UnsortedKeys {
@@ -163,6 +177,9 @@ impl fmt::Display for BinFormatError {
             }
             BinFormatError::IdOutOfRange { what, id, limit } => {
                 write!(f, "{what} id {id} out of range (table has {limit} entries)")
+            }
+            BinFormatError::UnsortedStrings { index } => {
+                write!(f, "string #{index} is not strictly greater than its predecessor")
             }
             BinFormatError::UnsortedKeys { index } => {
                 write!(f, "key #{index} is not strictly greater than its predecessor")
@@ -571,12 +588,447 @@ fn check_id(what: &'static str, id: u32, limit: usize) -> Result<(), BinFormatEr
     }
 }
 
-/// Decode and fully validate an EFDB byte stream.
+// ---------------------------------------------------------------------
+// Checked views: validate once, borrow forever
+// ---------------------------------------------------------------------
+
+/// A fully validated EFDB buffer, borrowed in place.
+///
+/// Produced by [`check`]: every invariant [`read`] enforces has already
+/// been verified — magic, version, layout, checksum, string-table sort,
+/// id bounds, key ordering, postings bounds — so the accessors below
+/// expose the raw sections with **no further validation and no
+/// allocation**. The view is `Copy`; as long as the backing bytes stay
+/// alive it can be borrowed forever, which is exactly the substrate the
+/// serving layer's zero-copy `EfdbSnapshot` answers queries from.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a checked view borrows the validated sections; decode or serve them"]
+pub struct EfdbView<'a> {
+    bytes: &'a [u8],
+    depth: RoundingDepth,
+    catalog_digest: u64,
+    /// strings, metrics, apps, labels, keys — entry counts per section.
+    counts: [u32; 5],
+    offsets: [u32; 7],
+}
+
+impl<'a> EfdbView<'a> {
+    /// Rounding depth the dictionary was built with.
+    pub fn depth(&self) -> RoundingDepth {
+        self.depth
+    }
+
+    /// The writer's catalog digest (see [`catalog_digest`]).
+    pub fn stored_catalog_digest(&self) -> u64 {
+        self.catalog_digest
+    }
+
+    /// Whether `catalog` has the digest the writer recorded — i.e.
+    /// metric-name resolution reproduces the writer's ids.
+    pub fn matches_catalog(&self, catalog: &MetricCatalog) -> bool {
+        self.catalog_digest == catalog_digest(catalog)
+    }
+
+    /// Number of key records.
+    pub fn len(&self) -> usize {
+        self.counts[4] as usize
+    }
+
+    /// Whether the file holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload of section `idx` (the bytes after its count prefix).
+    fn section_payload(&self, idx: usize) -> &'a [u8] {
+        let start = self.offsets[idx] as usize + 4;
+        let end = self.offsets[idx + 1] as usize;
+        &self.bytes[start..end]
+    }
+
+    /// The string table in stored (sorted, deduplicated) order.
+    pub fn strings(&self) -> Strings<'a> {
+        Strings {
+            rest: self.section_payload(0),
+            remaining: self.counts[0],
+        }
+    }
+
+    /// String ids of the metric names, in key-record metric-index order.
+    pub fn metric_string_ids(&self) -> impl Iterator<Item = u32> + 'a {
+        u32s(self.section_payload(1))
+    }
+
+    /// String ids of the application names, in tie-break order.
+    pub fn app_string_ids(&self) -> impl Iterator<Item = u32> + 'a {
+        u32s(self.section_payload(2))
+    }
+
+    /// Label records as `(app id, input string id)` pairs, in
+    /// [`LabelId`] order.
+    pub fn label_records(&self) -> impl Iterator<Item = (u32, u32)> + 'a {
+        let payload = self.section_payload(3);
+        (0..payload.len() / 8).map(move |i| {
+            let at = i * 8;
+            (le_u32(payload, at), le_u32(payload, at + 4))
+        })
+    }
+
+    /// Typed view over the sorted fixed-width key records.
+    pub fn keys(&self) -> KeyRecords<'a> {
+        KeyRecords::over(&self.bytes[self.key_records_range()])
+    }
+
+    /// In-place view over the postings blob.
+    pub fn postings(&self) -> Postings<'a> {
+        Postings::over(&self.bytes[self.postings_blob_range()])
+    }
+
+    /// Byte range of the raw key-record array within the checked buffer
+    /// (for callers that keep the buffer and rebind with
+    /// [`KeyRecords::over`]).
+    pub fn key_records_range(&self) -> std::ops::Range<usize> {
+        self.offsets[4] as usize + 4..self.offsets[5] as usize
+    }
+
+    /// Byte range of the postings blob within the checked buffer (for
+    /// callers that keep the buffer and rebind with [`Postings::over`]).
+    pub fn postings_blob_range(&self) -> std::ops::Range<usize> {
+        self.offsets[5] as usize + 4..self.offsets[6] as usize
+    }
+
+    /// Decode the owned app/label tables (apps, labels, label→app map).
+    fn decode_label_tables(
+        &self,
+        strings: &[&'a str],
+    ) -> (Vec<String>, Vec<AppLabel>, Vec<AppNameId>) {
+        let apps: Vec<String> = self
+            .app_string_ids()
+            .map(|sid| strings[sid as usize].to_string())
+            .collect();
+        let n = self.counts[3] as usize;
+        let mut labels = Vec::with_capacity(n);
+        let mut label_app = Vec::with_capacity(n);
+        for (app, input) in self.label_records() {
+            labels.push(AppLabel::new(&apps[app as usize], strings[input as usize]));
+            label_app.push(AppNameId::from_index(app as usize));
+        }
+        (apps, labels, label_app)
+    }
+
+    /// Thaw the viewed file into [`DictionaryParts`] directly — one
+    /// materialization, no intermediate [`Efdb`] (metric names resolved
+    /// via `catalog`).
+    pub fn to_parts(&self, catalog: &MetricCatalog) -> Result<DictionaryParts, BinFormatError> {
+        let strings: Vec<&str> = self.strings().collect();
+        let metric_ids: Vec<MetricId> = self
+            .metric_string_ids()
+            .map(|sid| {
+                let name = strings[sid as usize];
+                catalog
+                    .id(name)
+                    .ok_or_else(|| BinFormatError::UnknownMetric(name.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        let (apps, labels, label_app) = self.decode_label_tables(&strings);
+        let postings = self.postings();
+        let entries = self
+            .keys()
+            .iter()
+            .map(|r| {
+                let fp = Fingerprint::from_rounded(
+                    metric_ids[r.metric as usize],
+                    r.node,
+                    r.interval,
+                    f64::from_bits(r.mean_bits),
+                );
+                let ids = postings
+                    .label_ids(r.postings_off)
+                    .map(|id| LabelId::from_index(id as usize))
+                    .collect();
+                (fp, ids)
+            })
+            .collect();
+        Ok(DictionaryParts {
+            depth: self.depth,
+            entries,
+            labels,
+            apps,
+            label_app,
+        })
+    }
+}
+
+/// Little-endian `u32` at byte offset `at` (caller guarantees bounds —
+/// all section payloads are length-validated by [`check`]).
+#[inline]
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+/// Iterator over a section payload of packed little-endian `u32`s.
+fn u32s(payload: &[u8]) -> impl Iterator<Item = u32> + '_ {
+    payload
+        .chunks_exact(4)
+        .map(|raw| u32::from_le_bytes(raw.try_into().unwrap()))
+}
+
+/// Iterator over a checked string table, yielding each entry in stored
+/// (sorted) order without copying.
+#[derive(Debug, Clone)]
+#[must_use = "iterators are lazy"]
+pub struct Strings<'a> {
+    rest: &'a [u8],
+    remaining: u32,
+}
+
+impl<'a> Iterator for Strings<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let len = le_u32(self.rest, 0) as usize;
+        let raw = &self.rest[4..4 + len];
+        self.rest = &self.rest[4 + len..];
+        // UTF-8 was validated by `check`.
+        Some(std::str::from_utf8(raw).unwrap_or(""))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+/// One decoded fixed-width key record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyRecord {
+    /// Index into the file's metrics section (file-local, not a
+    /// catalog [`MetricId`]).
+    pub metric: u32,
+    /// Node id.
+    pub node: NodeId,
+    /// Time window of the fingerprint.
+    pub interval: Interval,
+    /// Rounded-mean bits (normalized: `-0.0` never appears).
+    pub mean_bits: u64,
+    /// Byte offset of this key's posting list in the postings blob.
+    pub postings_off: u32,
+}
+
+/// Typed, random-access view over raw 26-byte key records: length,
+/// indexed decode, and the binary-search/prefix-fanout lookups zero-copy
+/// serving runs per query point. No allocation; every access is
+/// bounds-checked slicing.
+///
+/// Normally obtained from [`EfdbView::keys`]. [`KeyRecords::over`] can
+/// rebind a view to key-record bytes a caller kept from a checked
+/// buffer; the search methods assume the records are sorted strictly
+/// ascending by `(metric, node, start, end, mean_bits)` — the invariant
+/// [`check`] enforces — and return arbitrary (but memory-safe) results
+/// over bytes that never passed validation.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a key-record view only reads; call its accessors"]
+pub struct KeyRecords<'a> {
+    records: &'a [u8],
+}
+
+impl<'a> KeyRecords<'a> {
+    /// View `records` (a whole number of [`KEY_RECORD_LEN`]-byte
+    /// entries; a ragged tail is ignored) as key records.
+    pub fn over(records: &'a [u8]) -> KeyRecords<'a> {
+        let whole = records.len() - records.len() % KEY_RECORD_LEN;
+        KeyRecords {
+            records: &records[..whole],
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len() / KEY_RECORD_LEN
+    }
+
+    /// Whether there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The raw record bytes this view reads.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.records
+    }
+
+    /// Sort-order fields of record `i` (caller guarantees `i < len`).
+    #[inline]
+    fn ord_at(&self, i: usize) -> (u32, u16, u32, u32, u64) {
+        let r = &self.records[i * KEY_RECORD_LEN..(i + 1) * KEY_RECORD_LEN];
+        (
+            le_u32(r, 0),
+            u16::from_le_bytes(r[4..6].try_into().unwrap()),
+            le_u32(r, 6),
+            le_u32(r, 10),
+            u64::from_le_bytes(r[14..22].try_into().unwrap()),
+        )
+    }
+
+    /// Decode record `i`.
+    pub fn get(&self, i: usize) -> Option<KeyRecord> {
+        if i >= self.len() {
+            return None;
+        }
+        let (metric, node, start, end, mean_bits) = self.ord_at(i);
+        let postings_off = le_u32(self.records, i * KEY_RECORD_LEN + 22);
+        Some(KeyRecord {
+            metric,
+            node: NodeId(node),
+            interval: Interval { start, end },
+            mean_bits,
+            postings_off,
+        })
+    }
+
+    /// Iterate every record in stored (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = KeyRecord> + 'a {
+        let v = *self;
+        (0..v.len()).map(move |i| v.get(i).expect("index in range"))
+    }
+
+    /// First index whose sort key fails `keep` (a partition point over
+    /// the sorted records).
+    fn partition(&self, keep: impl Fn(&(u32, u16, u32, u32, u64)) -> bool) -> usize {
+        let (mut lo, mut hi) = (0, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if keep(&self.ord_at(mid)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Record-index range holding file-local metric index `metric` — the
+    /// prefix fan-out: resolve a query point's metric once, then search
+    /// only its contiguous span.
+    pub fn metric_range(&self, metric: u32) -> std::ops::Range<usize> {
+        self.partition(|ord| ord.0 < metric)..self.partition(|ord| ord.0 <= metric)
+    }
+
+    /// Binary-search the whole table for an exact key.
+    pub fn find(
+        &self,
+        metric: u32,
+        node: NodeId,
+        interval: Interval,
+        mean_bits: u64,
+    ) -> Option<KeyRecord> {
+        self.find_in(0..self.len(), metric, node, interval, mean_bits)
+    }
+
+    /// Binary-search for an exact key within `range` (typically a
+    /// [`KeyRecords::metric_range`]).
+    pub fn find_in(
+        &self,
+        range: std::ops::Range<usize>,
+        metric: u32,
+        node: NodeId,
+        interval: Interval,
+        mean_bits: u64,
+    ) -> Option<KeyRecord> {
+        let target = (metric, node.0, interval.start, interval.end, mean_bits);
+        let (mut lo, mut hi) = (range.start.min(self.len()), range.end.min(self.len()));
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.ord_at(mid).cmp(&target) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return self.get(mid),
+            }
+        }
+        None
+    }
+}
+
+/// In-place view over a postings blob: per-key label-id lists decoded on
+/// the fly, no allocation.
+///
+/// Normally obtained from [`EfdbView::postings`]; [`Postings::over`] can
+/// rebind to blob bytes kept from a checked buffer. Every access is
+/// bounds-checked (counts clamp to the blob), so unvalidated bytes can
+/// only yield short or empty lists, never unsafety.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a postings view only reads; call its accessors"]
+pub struct Postings<'a> {
+    blob: &'a [u8],
+}
+
+impl<'a> Postings<'a> {
+    /// View `blob` as a postings blob.
+    pub fn over(blob: &'a [u8]) -> Postings<'a> {
+        Postings { blob }
+    }
+
+    /// The raw blob bytes this view reads.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.blob
+    }
+
+    /// The count-prefixed id array at `off`, as `(count, id bytes)`.
+    #[inline]
+    fn list_at(&self, off: u32) -> (usize, &'a [u8]) {
+        let at = (off as usize).min(self.blob.len());
+        let rest = &self.blob[at..];
+        if rest.len() < 4 {
+            return (0, &[]);
+        }
+        let ids = &rest[4..];
+        ((le_u32(rest, 0) as usize).min(ids.len() / 4), ids)
+    }
+
+    /// Iterate the label ids stored at `off` (a
+    /// [`KeyRecord::postings_off`]).
+    pub fn label_ids(&self, off: u32) -> impl Iterator<Item = u32> + 'a {
+        let (count, ids) = self.list_at(off);
+        u32s(ids).take(count)
+    }
+
+    /// Chunked postings walk: decode the label ids at `off` in small
+    /// fixed batches into a stack buffer, then hand each batch to `f` —
+    /// the cache-friendly accumulation shape of the hot vote loop
+    /// (decode touches the blob, votes touch the counters, never
+    /// interleaved per id).
+    pub fn for_each_label(&self, off: u32, mut f: impl FnMut(u32)) {
+        let (count, ids) = self.list_at(off);
+        let mut chunk = [0u32; 16];
+        let mut done = 0;
+        while done < count {
+            let n = (count - done).min(chunk.len());
+            for (slot, raw) in chunk
+                .iter_mut()
+                .zip(ids[done * 4..(done + n) * 4].chunks_exact(4))
+            {
+                *slot = u32::from_le_bytes(raw.try_into().unwrap());
+            }
+            for &id in &chunk[..n] {
+                f(id);
+            }
+            done += n;
+        }
+    }
+}
+
+/// Validate an EFDB byte stream once and return a borrowing
+/// [`EfdbView`] over its sections — the check-once / borrow-forever
+/// half of [`read`].
 ///
 /// Validation order: magic → version → header layout → checksum → depth →
-/// sections (string table, ids, key ordering, postings bounds). The first
-/// failure is returned as a structured [`BinFormatError`]; a returned
-/// [`Efdb`] is internally consistent by construction.
+/// sections (string table UTF-8 **and lexicographic sort**, ids in
+/// bounds, key ordering, postings bounds). The first failure is returned
+/// as a structured [`BinFormatError`]; a returned view is internally
+/// consistent by construction and allocates nothing.
 ///
 /// ```
 /// use efd_core::{binfmt, EfdDictionary, RoundingDepth};
@@ -590,18 +1042,17 @@ fn check_id(what: &'static str, id: u32, limit: usize) -> Result<(), BinFormatEr
 ///                 &AppLabel::new("ft", "X"));
 /// let bytes = binfmt::write(&dict.to_parts(), &catalog);
 ///
-/// let efdb = binfmt::read(&bytes).unwrap();
-/// assert_eq!(efdb.len(), 1);
-/// assert_eq!(efdb.apps(), ["ft".to_string()]);
-/// assert!(efdb.matches_catalog(&catalog));
-///
-/// // Corruption is caught before any section is interpreted.
-/// let mut bad = bytes.clone();
-/// *bad.last_mut().unwrap() ^= 0xFF;
-/// assert!(matches!(binfmt::read(&bad),
-///                  Err(binfmt::BinFormatError::ChecksumMismatch { .. })));
+/// // Check once ...
+/// let view = binfmt::check(&bytes).unwrap();
+/// assert_eq!(view.len(), 1);
+/// assert!(view.matches_catalog(&catalog));
+/// // ... then borrow the sections in place, no allocation:
+/// let keys = view.keys();
+/// let rec = keys.get(0).unwrap();
+/// let labels: Vec<u32> = view.postings().label_ids(rec.postings_off).collect();
+/// assert_eq!(labels, [0]);
 /// ```
-pub fn read(bytes: &[u8]) -> Result<Efdb, BinFormatError> {
+pub fn check(bytes: &[u8]) -> Result<EfdbView<'_>, BinFormatError> {
     let mut c = Cursor { bytes, pos: 0 };
 
     let magic = c.take(4, "magic")?;
@@ -667,60 +1118,55 @@ pub fn read(bytes: &[u8]) -> Result<Efdb, BinFormatError> {
         Ok(())
     };
 
-    // strings
+    // strings: UTF-8, and strictly ascending by UTF-8 bytes (the
+    // canonical sorted/deduplicated form).
     section(0, &mut c)?;
-    let n_strings = c.u32("string count")? as usize;
-    let mut strings = Vec::with_capacity(n_strings.min(bytes.len() / 4));
-    for i in 0..n_strings {
+    let n_strings = c.u32("string count")?;
+    let mut prev_string: Option<&[u8]> = None;
+    for i in 0..n_strings as usize {
         let len = c.u32("string length")? as usize;
         let raw = c.take(len, "string bytes")?;
-        let s = std::str::from_utf8(raw)
-            .map_err(|_| BinFormatError::InvalidUtf8 { index: i })?;
-        strings.push(s.to_string());
+        std::str::from_utf8(raw).map_err(|_| BinFormatError::InvalidUtf8 { index: i })?;
+        if prev_string.is_some_and(|p| p >= raw) {
+            return Err(BinFormatError::UnsortedStrings { index: i });
+        }
+        prev_string = Some(raw);
     }
 
     // metrics
     section(1, &mut c)?;
-    let n_metrics = c.u32("metric count")? as usize;
-    let mut metrics = Vec::with_capacity(n_metrics.min(bytes.len() / 4));
+    let n_metrics = c.u32("metric count")?;
     for _ in 0..n_metrics {
         let sid = c.u32("metric string id")?;
-        check_id("metric string", sid, strings.len())?;
-        metrics.push(strings[sid as usize].clone());
+        check_id("metric string", sid, n_strings as usize)?;
     }
 
     // apps
     section(2, &mut c)?;
-    let n_apps = c.u32("app count")? as usize;
-    let mut apps = Vec::with_capacity(n_apps.min(bytes.len() / 4));
+    let n_apps = c.u32("app count")?;
     for _ in 0..n_apps {
         let sid = c.u32("app string id")?;
-        check_id("app string", sid, strings.len())?;
-        apps.push(strings[sid as usize].clone());
+        check_id("app string", sid, n_strings as usize)?;
     }
 
     // labels
     section(3, &mut c)?;
-    let n_labels = c.u32("label count")? as usize;
-    let mut labels = Vec::with_capacity(n_labels.min(bytes.len() / 8));
-    let mut label_app = Vec::with_capacity(n_labels.min(bytes.len() / 8));
+    let n_labels = c.u32("label count")?;
     for _ in 0..n_labels {
         let app = c.u32("label app id")?;
-        check_id("label app", app, apps.len())?;
+        check_id("label app", app, n_apps as usize)?;
         let input = c.u32("label input string id")?;
-        check_id("label input string", input, strings.len())?;
-        labels.push(AppLabel::new(&apps[app as usize], &strings[input as usize]));
-        label_app.push(AppNameId::from_index(app as usize));
+        check_id("label input string", input, n_strings as usize)?;
     }
 
-    // keys (fixed records; postings decoded right after)
+    // keys (fixed records, strictly ascending)
     section(4, &mut c)?;
-    let n_keys = c.u32("key count")? as usize;
-    let mut key_records = Vec::with_capacity(n_keys.min(bytes.len() / KEY_RECORD_LEN));
+    let n_keys = c.u32("key count")?;
+    let keys_payload_at = c.pos;
     let mut prev: Option<(u32, u16, u32, u32, u64)> = None;
-    for i in 0..n_keys {
+    for i in 0..n_keys as usize {
         let metric = c.u32("key metric id")?;
-        check_id("key metric", metric, metrics.len())?;
+        check_id("key metric", metric, n_metrics as usize)?;
         let node = c.u16("key node")?;
         let start = c.u32("key interval start")?;
         let end = c.u32("key interval end")?;
@@ -738,11 +1184,10 @@ pub fn read(bytes: &[u8]) -> Result<Efdb, BinFormatError> {
             return Err(BinFormatError::UnsortedKeys { index: i });
         }
         prev = Some(ord);
-        let postings_off = c.u32("key postings offset")?;
-        key_records.push((metric, node, start, end, mean_bits, postings_off));
+        c.u32("key postings offset")?;
     }
 
-    // postings
+    // postings: the blob itself, then every key's list within it.
     section(5, &mut c)?;
     let blob_len = c.u32("postings length")? as usize;
     let blob = c.take(blob_len, "postings blob")?;
@@ -751,33 +1196,86 @@ pub fn read(bytes: &[u8]) -> Result<Efdb, BinFormatError> {
             what: "postings section does not end at the checksum trailer",
         });
     }
-    let mut entries = Vec::with_capacity(key_records.len());
-    for (metric, node, start, end, mean_bits, postings_off) in key_records {
+    let key_bytes = &bytes[keys_payload_at..offsets[5] as usize];
+    debug_assert_eq!(KeyRecords::over(key_bytes).len(), n_keys as usize);
+    for i in 0..n_keys as usize {
+        let postings_off = le_u32(key_bytes, i * KEY_RECORD_LEN + 22);
+        check_id("postings offset", postings_off, blob.len().max(1))?;
         let mut pc = Cursor {
             bytes: blob,
-            pos: 0,
+            pos: postings_off as usize,
         };
-        check_id("postings offset", postings_off, blob.len().max(1))?;
-        pc.pos = postings_off as usize;
-        let count = pc.u32("postings count")? as usize;
-        let mut ids = Vec::with_capacity(count.min(blob.len() / 4));
+        let count = pc.u32("postings count")?;
         for _ in 0..count {
             let id = pc.u32("postings label id")?;
-            check_id("postings label", id, labels.len())?;
-            ids.push(LabelId::from_index(id as usize));
+            check_id("postings label", id, n_labels as usize)?;
         }
-        entries.push(EfdbEntry {
-            metric,
-            node: NodeId(node),
-            interval: Interval { start, end },
-            mean_bits,
-            labels: ids,
-        });
     }
 
-    Ok(Efdb {
+    Ok(EfdbView {
+        bytes,
         depth,
         catalog_digest: digest,
+        counts: [n_strings, n_metrics, n_apps, n_labels, n_keys],
+        offsets,
+    })
+}
+
+/// Decode and fully validate an EFDB byte stream.
+///
+/// [`check`] runs the whole validation pass; the returned [`Efdb`] is
+/// the owned decode of the checked sections (zero-copy consumers skip
+/// this step and serve straight from the view).
+///
+/// ```
+/// use efd_core::{binfmt, EfdDictionary, RoundingDepth};
+/// use efd_telemetry::catalog::small_catalog;
+/// use efd_telemetry::{AppLabel, Interval, NodeId};
+///
+/// let catalog = small_catalog();
+/// let metric = catalog.id("nr_mapped_vmstat").unwrap();
+/// let mut dict = EfdDictionary::new(RoundingDepth::new(2));
+/// dict.insert_raw(metric, NodeId(0), Interval::PAPER_DEFAULT, 6020.0,
+///                 &AppLabel::new("ft", "X"));
+/// let bytes = binfmt::write(&dict.to_parts(), &catalog);
+///
+/// let efdb = binfmt::read(&bytes).unwrap();
+/// assert_eq!(efdb.len(), 1);
+/// assert_eq!(efdb.apps(), ["ft".to_string()]);
+/// assert!(efdb.matches_catalog(&catalog));
+///
+/// // Corruption is caught before any section is interpreted.
+/// let mut bad = bytes.clone();
+/// *bad.last_mut().unwrap() ^= 0xFF;
+/// assert!(matches!(binfmt::read(&bad),
+///                  Err(binfmt::BinFormatError::ChecksumMismatch { .. })));
+/// ```
+pub fn read(bytes: &[u8]) -> Result<Efdb, BinFormatError> {
+    let view = check(bytes)?;
+    let strings: Vec<&str> = view.strings().collect();
+    let metrics = view
+        .metric_string_ids()
+        .map(|sid| strings[sid as usize].to_string())
+        .collect();
+    let (apps, labels, label_app) = view.decode_label_tables(&strings);
+    let postings = view.postings();
+    let entries = view
+        .keys()
+        .iter()
+        .map(|r| EfdbEntry {
+            metric: r.metric,
+            node: r.node,
+            interval: r.interval,
+            mean_bits: r.mean_bits,
+            labels: postings
+                .label_ids(r.postings_off)
+                .map(|id| LabelId::from_index(id as usize))
+                .collect(),
+        })
+        .collect();
+    Ok(Efdb {
+        depth: view.depth(),
+        catalog_digest: view.stored_catalog_digest(),
         metrics,
         apps,
         labels,
@@ -788,11 +1286,14 @@ pub fn read(bytes: &[u8]) -> Result<Efdb, BinFormatError> {
 
 /// Decode EFDB bytes and thaw straight into a live [`EfdDictionary`]
 /// (the one-call load path; metric names resolved via `catalog`).
+///
+/// Routed through [`check`] + [`EfdbView::to_parts`], so the sections
+/// are materialized exactly once — no intermediate [`Efdb`].
 pub fn read_dictionary(
     bytes: &[u8],
     catalog: &MetricCatalog,
 ) -> Result<EfdDictionary, BinFormatError> {
-    read(bytes)?.into_parts(catalog).map(EfdDictionary::from_parts)
+    check(bytes)?.to_parts(catalog).map(EfdDictionary::from_parts)
 }
 
 #[cfg(test)]

@@ -62,6 +62,11 @@ use crate::observation::{LabeledObservation, Query};
 pub struct VoteScratch {
     /// Vote count per `LabelId` index; zero except for touched ids.
     label_counts: Vec<u32>,
+    /// Widened (SWAR) label counters: four packed 16-bit lanes per `u64`
+    /// word, lane `i & 3` of word `i >> 2` counting label index `i`.
+    /// Zero except for touched ids; [`VoteScratch::finish`] sums lane and
+    /// scalar counts, so either vote path (or both) may feed a query.
+    wide_label_counts: Vec<u64>,
     /// Vote count per `AppNameId` index; zero except for touched ids.
     app_counts: Vec<u32>,
     touched_labels: Vec<LabelId>,
@@ -72,11 +77,21 @@ pub struct VoteScratch {
 }
 
 impl VoteScratch {
+    /// Most votes one label can take through
+    /// [`VoteScratch::vote_label_wide`] before its 16-bit lane saturates.
+    /// Kernels route queries with more points than this through the
+    /// scalar [`VoteScratch::vote_label`] path.
+    pub const WIDE_VOTE_LIMIT: usize = u16::MAX as usize;
+
     /// Grow the dense counters to cover `labels`/`apps` interned ids.
     /// Counters keep their (all-zero) state; growth never clears votes.
     pub fn ensure(&mut self, labels: usize, apps: usize) {
         if self.label_counts.len() < labels {
             self.label_counts.resize(labels, 0);
+        }
+        let wide_words = labels.div_ceil(4);
+        if self.wide_label_counts.len() < wide_words {
+            self.wide_label_counts.resize(wide_words, 0);
         }
         if self.app_counts.len() < apps {
             self.app_counts.resize(apps, 0);
@@ -91,6 +106,43 @@ impl VoteScratch {
             self.touched_labels.push(id);
         }
         *c += 1;
+    }
+
+    /// One vote for a label through the widened (SWAR) counter path:
+    /// counts land in packed 16-bit lanes, four per `u64` word, so a
+    /// postings-heavy vote loop touches a quarter of the counter cache
+    /// lines the scalar [`VoteScratch::vote_label`] path would.
+    ///
+    /// Within one query, use *either* the scalar or the wide path for
+    /// label votes — [`VoteScratch::finish`] sums both, but mixing them
+    /// on the same label can record it twice in the touched list. A lane
+    /// saturates at [`VoteScratch::WIDE_VOTE_LIMIT`] votes instead of
+    /// overflowing into its neighbor; kernels keep counts exact by
+    /// falling back to the scalar path for queries with more points than
+    /// the limit.
+    #[inline]
+    pub fn vote_label_wide(&mut self, id: LabelId) {
+        let i = id.index();
+        let word = &mut self.wide_label_counts[i >> 2];
+        let shift = (i & 3) * 16;
+        let lane = (*word >> shift) & 0xFFFF;
+        if lane == 0 {
+            self.touched_labels.push(id);
+        }
+        if lane < 0xFFFF {
+            *word += 1 << shift;
+        }
+    }
+
+    /// Combined scalar + wide count for a label index, zeroing both.
+    #[inline]
+    fn drain_label_count(&mut self, i: usize) -> u32 {
+        let scalar = std::mem::take(&mut self.label_counts[i]);
+        let word = &mut self.wide_label_counts[i >> 2];
+        let shift = (i & 3) * 16;
+        let lane = ((*word >> shift) & 0xFFFF) as u32;
+        *word &= !(0xFFFFu64 << shift);
+        scalar + lane
     }
 
     /// One vote for an application (caller guarantees per-point dedup, or
@@ -138,8 +190,8 @@ impl VoteScratch {
         for id in self.touched_apps.drain(..) {
             self.app_counts[id.index()] = 0;
         }
-        for id in self.touched_labels.drain(..) {
-            self.label_counts[id.index()] = 0;
+        while let Some(id) = self.touched_labels.pop() {
+            self.drain_label_count(id.index());
         }
         best
     }
@@ -161,10 +213,14 @@ impl VoteScratch {
             *c = 0;
         }
         let mut label_votes: Vec<(AppLabel, u32)> = Vec::with_capacity(self.touched_labels.len());
-        for id in self.touched_labels.drain(..) {
-            let c = &mut self.label_counts[id.index()];
-            label_votes.push((labels[id.index()].clone(), *c));
-            *c = 0;
+        while let Some(id) = self.touched_labels.pop() {
+            let count = self.drain_label_count(id.index());
+            if count > 0 {
+                // A zero combined count only happens when a label was
+                // touched twice (scalar + wide paths mixed on one query,
+                // against the documented contract); skip the duplicate.
+                label_votes.push((labels[id.index()].clone(), count));
+            }
         }
 
         // Sort once, directly in the normalized order (same comparators as
@@ -401,6 +457,74 @@ mod tests {
         // normalized(): lexicographic tie array.
         assert_eq!(r.verdict, Verdict::Ambiguous(vec!["bt".into(), "sp".into()]));
         assert_eq!(r.best(), Some("bt"));
+    }
+
+    #[test]
+    fn wide_votes_match_scalar_votes() {
+        // Same vote pattern through both counter paths: identical answers.
+        let labels: Vec<AppLabel> = (0..9).map(|i| lab(&format!("a{i}"), "X")).collect();
+        let apps: Vec<String> = (0..9).map(|i| format!("a{i}")).collect();
+        let mut scalar = VoteScratch::default();
+        let mut wide = VoteScratch::default();
+        scalar.ensure(9, 9);
+        wide.ensure(9, 9);
+        // Uneven counts across all four lanes of two words plus a
+        // straggler, so lane packing and word boundaries are exercised.
+        for i in 0..9usize {
+            for _ in 0..=(i % 5) {
+                scalar.vote_label(LabelId::from_index(i));
+                wide.vote_label_wide(LabelId::from_index(i));
+            }
+            scalar.begin_point();
+            scalar.vote_app_deduped(AppNameId::from_index(i));
+            wide.begin_point();
+            wide.vote_app_deduped(AppNameId::from_index(i));
+        }
+        let s = scalar.finish(&labels, &apps, 9, 9);
+        let w = wide.finish(&labels, &apps, 9, 9);
+        assert_eq!(s, w);
+        assert_eq!(w.label_votes.iter().map(|&(_, v)| v).max(), Some(5));
+
+        // Both scratches were reset: a second finish is empty.
+        assert!(wide.finish(&labels, &apps, 0, 0).label_votes.is_empty());
+    }
+
+    #[test]
+    fn wide_lanes_saturate_instead_of_bleeding() {
+        let labels = [lab("hot", "X"), lab("cold", "X")];
+        let apps = ["hot".to_string(), "cold".to_string()];
+        let mut s = VoteScratch::default();
+        s.ensure(2, 2);
+        // Overflow lane 0 past u16::MAX; lane 1 (same word) must be
+        // untouched and lane 0 must clamp, not wrap into its neighbor.
+        for _ in 0..(VoteScratch::WIDE_VOTE_LIMIT + 10) {
+            s.vote_label_wide(LabelId::from_index(0));
+        }
+        s.vote_label_wide(LabelId::from_index(1));
+        let r = s.finish(&labels, &apps, 1, 1);
+        assert_eq!(
+            r.label_votes,
+            vec![
+                (lab("hot", "X"), u16::MAX as u32),
+                (lab("cold", "X"), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn finish_best_resets_wide_counters() {
+        let apps = ["ft".to_string()];
+        let mut s = VoteScratch::default();
+        s.ensure(1, 1);
+        s.vote_label_wide(LabelId::from_index(0));
+        s.begin_point();
+        s.vote_app_deduped(AppNameId::from_index(0));
+        assert_eq!(s.finish_best(&apps), Some("ft"));
+        // The wide counter was drained: a scalar-path reuse sees zero.
+        s.vote_label(LabelId::from_index(0));
+        let labels = [lab("ft", "X")];
+        let r = s.finish(&labels, &apps, 1, 1);
+        assert_eq!(r.label_votes, vec![(lab("ft", "X"), 1)]);
     }
 
     #[test]

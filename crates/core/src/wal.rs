@@ -750,14 +750,18 @@ pub fn recover(dir: &Path, catalog: &MetricCatalog) -> Result<Recovery, WalError
                 path: path.display().to_string(),
                 error,
             };
-            let efdb = binfmt::read(&seg_bytes).map_err(seg_err)?;
-            if efdb.depth() != replay.depth {
+            // Checked-view load: validate the segment once, then thaw
+            // the borrowed sections straight into parts — no owned
+            // `Efdb` decode and no extra clone, so recovery pays one
+            // materialization per segment byte instead of three.
+            let view = binfmt::check(&seg_bytes).map_err(seg_err)?;
+            if view.depth() != replay.depth {
                 return Err(WalError::DepthMismatch {
                     log: replay.depth.get(),
-                    segment: efdb.depth().get(),
+                    segment: view.depth().get(),
                 });
             }
-            efdb.to_dictionary(catalog).map_err(seg_err)?
+            EfdDictionary::from_parts(view.to_parts(catalog).map_err(seg_err)?)
         }
     };
     for (i, rec) in replay.records.iter().enumerate() {

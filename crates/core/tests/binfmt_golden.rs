@@ -164,6 +164,31 @@ fn future_versions_are_rejected_per_policy() {
 }
 
 #[test]
+fn unsorted_string_table_is_detected() {
+    // The fixture's string table is ["X", "bt", "ft", "nr_mapped_vmstat",
+    // "sp"]. Rewrite the first string's one byte 'X' -> 'z' (offset 56:
+    // strings section at 48, count u32, len u32, then the byte) so "bt"
+    // at index 1 is no longer greater than its predecessor, and re-stamp
+    // the checksum so validation reaches the ordering check.
+    let mut bytes = golden_bytes();
+    assert_eq!(bytes[56], b'X', "fixture layout changed; update this test");
+    bytes[56] = b'z';
+    let body = bytes.len() - 8;
+    let sum = efd_util::hash::hash_bytes(&bytes[..body]);
+    bytes[body..].copy_from_slice(&sum.to_le_bytes());
+    assert_eq!(
+        binfmt::read(&bytes).unwrap_err(),
+        BinFormatError::UnsortedStrings { index: 1 }
+    );
+    // The zero-copy entry point refuses the same bytes: a buffer that
+    // fails `check` can never be served.
+    assert_eq!(
+        binfmt::check(&bytes).unwrap_err(),
+        BinFormatError::UnsortedStrings { index: 1 }
+    );
+}
+
+#[test]
 fn invalid_depth_is_detected() {
     let mut bytes = golden_bytes();
     bytes[8] = 0; // depth byte; re-stamp the checksum so validation gets there

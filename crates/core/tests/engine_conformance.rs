@@ -20,10 +20,13 @@ use std::sync::Arc;
 
 use efd_core::engine::{Learn, ParallelRecognize, Recognize, VoteScratch};
 use efd_core::multi::ComboDictionary;
-use efd_core::{EfdDictionary, LabeledObservation, Query, RoundingDepth};
+use efd_core::{binfmt, EfdDictionary, LabeledObservation, Query, RoundingDepth};
 use efd_eval::engine::MlBackend;
 use efd_ml::taxonomist::TaxonomistConfig;
-use efd_serve::{BatchRecognizer, ComboSnapshot, OnlineSession, ShardedDictionary, Snapshot};
+use efd_serve::{
+    BatchRecognizer, ComboSnapshot, EfdbSnapshot, OnlineSession, ShardedDictionary, Snapshot,
+};
+use efd_telemetry::catalog::small_catalog;
 use efd_telemetry::{AppLabel, Interval, MetricId, NodeId};
 
 const M: MetricId = MetricId(0);
@@ -198,6 +201,22 @@ conformance!(exact: online_session, |observations: &[LabeledObservation]| {
     OnlineSession::new(snap, &[M], &[NodeId(0)], vec![W])
 });
 
+conformance!(exact: efdb_snapshot_zero_copy, |observations: &[LabeledObservation]| {
+    // Learned state -> canonical EFDB bytes -> served in place: the
+    // zero-copy store answers byte-for-byte like the oracle.
+    let catalog = small_catalog();
+    let bytes = binfmt::write(&oracle(observations).to_parts(), &catalog);
+    EfdbSnapshot::load(bytes, &catalog).expect("canonical bytes always check")
+});
+
+conformance!(exact: efdb_snapshot_behind_batch_front_end, |observations: &[LabeledObservation]| {
+    let catalog = small_catalog();
+    let bytes = binfmt::write(&oracle(observations).to_parts(), &catalog);
+    BatchRecognizer::new(Arc::new(
+        EfdbSnapshot::load(bytes, &catalog).expect("canonical bytes always check"),
+    ))
+});
+
 conformance!(exact: batch_recognizer_front_end, |observations: &[LabeledObservation]| {
     BatchRecognizer::new(Arc::new(Snapshot::freeze(&oracle(observations), 8)))
 });
@@ -264,6 +283,7 @@ fn traits_are_object_safe() {
     assert_eq!(parallel[0], expected);
 
     // A heterogeneous backend list — the point of the object-safe design.
+    let catalog = small_catalog();
     let backends: Vec<Box<dyn Recognize + Send + Sync>> = vec![
         Box::new(oracle(&observations())),
         Box::new(Snapshot::freeze(&oracle(&observations()), 4)),
@@ -271,6 +291,13 @@ fn traits_are_object_safe() {
             oracle(&observations()).to_parts(),
             2,
         )),
+        Box::new(
+            EfdbSnapshot::load(
+                binfmt::write(&oracle(&observations()).to_parts(), &catalog),
+                &catalog,
+            )
+            .expect("canonical bytes always check"),
+        ),
     ];
     for (i, b) in backends.iter().enumerate() {
         for q in &queries {

@@ -106,11 +106,50 @@ impl<R: Recognize + Send + Sync + ?Sized> BatchRecognizer<R> {
     }
 
     /// Recognize every query, in input order, across worker threads.
+    ///
+    /// Internally the batch is processed in **key-locality order**:
+    /// queries sorted by their first point's raw key fields, so
+    /// neighboring workers probe neighboring key records / shard lines
+    /// instead of striding the whole store per query. Answers are
+    /// scattered back to input order — the ordering is a cache strategy,
+    /// never visible in results.
     pub fn recognize_batch(&self, queries: &[Query]) -> Vec<Recognition> {
-        parallel_map_init(queries, VoteScratch::default, |scratch, q| {
-            self.backend.recognize_into(q, scratch)
-        })
+        let order = locality_order(queries);
+        let answered = parallel_map_init(&order, VoteScratch::default, |scratch, &i| {
+            (i, self.backend.recognize_into(&queries[i], scratch))
+        });
+        scatter(answered, queries.len())
     }
+}
+
+/// Query indices sorted by the first point's raw key fields — the same
+/// `(metric, node, start, end, mean)` prefix the stores sort and hash
+/// by, so adjacent batch items probe adjacent storage.
+fn locality_order(queries: &[Query]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..queries.len()).collect();
+    order.sort_by_key(|&i| {
+        queries[i].points.first().map(|p| {
+            (
+                p.metric.0,
+                p.node.0,
+                p.interval.start,
+                p.interval.end,
+                p.mean.to_bits(),
+            )
+        })
+    });
+    order
+}
+
+/// Scatter `(input index, answer)` pairs back into input order.
+fn scatter<T>(answered: Vec<(usize, T)>, len: usize) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    for (i, r) in answered {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every query answered exactly once"))
+        .collect()
 }
 
 /// A batch front end is itself an engine backend (single queries hit the
@@ -135,9 +174,14 @@ impl BatchRecognizer<Snapshot> {
     /// path is allocation-free ([`crate::Snapshot::best_with`]); only the
     /// returned answers allocate.
     pub fn best_batch(&self, queries: &[Query]) -> Vec<Option<String>> {
-        parallel_map_init(queries, VoteScratch::default, |scratch, q| {
-            self.backend.best_with(q, scratch).map(str::to_string)
-        })
+        let order = locality_order(queries);
+        let answered = parallel_map_init(&order, VoteScratch::default, |scratch, &i| {
+            (
+                i,
+                self.backend.best_with(&queries[i], scratch).map(str::to_string),
+            )
+        });
+        scatter(answered, queries.len())
     }
 }
 

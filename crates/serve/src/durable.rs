@@ -66,7 +66,10 @@ impl DurableDictionary {
     ///
     /// A fresh directory starts empty at `default_depth`; an existing
     /// one recovers at its logged depth (torn tails truncated, the fault
-    /// reported in the returned [`Recovery`]).
+    /// reported in the returned [`Recovery`]). Segment bytes are loaded
+    /// through the checked-buffer view (`efd_core::binfmt::check`): the
+    /// file is validated once and decoded straight into dictionary parts,
+    /// with no intermediate owned `Efdb` materialization.
     pub fn open(
         dir: &Path,
         default_depth: RoundingDepth,

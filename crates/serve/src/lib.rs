@@ -18,6 +18,12 @@
 //!   per-thread vote counters instead of per-query hash maps, so the
 //!   single-query path is also measurably faster than the core oracle
 //!   (see the `perf_serving` bench).
+//! * [`EfdbSnapshot`] — the **zero-copy** form: serves straight from
+//!   validated EFDB bytes (binary search over the raw key records,
+//!   postings iterated in place), so cold-start stops scaling with
+//!   dictionary size. [`Snapshot`] and [`EfdbSnapshot`] are two
+//!   implementations of one [`KeyStore`] contract and share one vote
+//!   kernel ([`keystore`]).
 //! * [`BatchRecognizer`] — fans a `&[Query]` out over
 //!   [`efd_util::parallel_map_init`] with per-thread scratch, answering
 //!   batches at full hardware parallelism.
@@ -70,6 +76,8 @@
 pub mod batch;
 pub mod combo;
 pub mod durable;
+pub mod efdb;
+pub mod keystore;
 pub mod online;
 pub mod shard;
 pub mod snapshot;
@@ -77,6 +85,8 @@ pub mod snapshot;
 pub use batch::BatchRecognizer;
 pub use combo::ComboSnapshot;
 pub use durable::DurableDictionary;
+pub use efdb::EfdbSnapshot;
+pub use keystore::KeyStore;
 pub use online::OnlineSession;
 pub use shard::ShardedDictionary;
 pub use snapshot::Snapshot;

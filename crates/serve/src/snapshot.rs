@@ -18,6 +18,7 @@ use efd_telemetry::metric::MetricCatalog;
 use efd_telemetry::AppLabel;
 use efd_util::FxHashMap;
 
+use crate::keystore::{self, KeyStore};
 use crate::{shard_bits_for, shard_of};
 
 /// One frozen entry: the stored labels plus their deduplicated apps (in
@@ -80,32 +81,54 @@ impl Snapshot {
         // implementation of key merging, per-list dedup, and consistency
         // validation (which is where the documented panics originate).
         let parts = EfdDictionary::from_parts(parts).into_parts();
+        Self::assemble(
+            parts.depth,
+            parts.entries.into_iter().map(|(fp, ids)| (fp, ids.into_boxed_slice())),
+            parts.labels,
+            parts.apps,
+            parts.label_app,
+            shards,
+        )
+    }
+
+    /// The one shard-map build every constructor funnels through:
+    /// `entries` must already be canonical (unique keys, deduplicated
+    /// label lists) — guaranteed by [`EfdDictionary::from_parts`] or a
+    /// validated EFDB file.
+    fn assemble(
+        depth: RoundingDepth,
+        entries: impl Iterator<Item = (Fingerprint, Box<[LabelId]>)>,
+        labels: Vec<AppLabel>,
+        apps: Vec<String>,
+        label_app: Vec<AppNameId>,
+        shards: usize,
+    ) -> Self {
         let shard_bits = shard_bits_for(shards);
         let mut maps: Vec<FxHashMap<Fingerprint, SnapEntry>> =
             (0..(1usize << shard_bits)).map(|_| FxHashMap::default()).collect();
-        for (fp, ids) in parts.entries {
-            let mut apps: Vec<AppNameId> = Vec::with_capacity(1);
-            for id in &ids {
-                let app = parts.label_app[id.index()];
-                if !apps.contains(&app) {
-                    apps.push(app);
+        for (fp, ids) in entries {
+            let mut entry_apps: Vec<AppNameId> = Vec::with_capacity(1);
+            for id in ids.iter() {
+                let app = label_app[id.index()];
+                if !entry_apps.contains(&app) {
+                    entry_apps.push(app);
                 }
             }
             maps[shard_of(&fp, shard_bits)].insert(
                 fp,
                 SnapEntry {
-                    labels: ids.into_boxed_slice(),
-                    apps: apps.into_boxed_slice(),
+                    labels: ids,
+                    apps: entry_apps.into_boxed_slice(),
                 },
             );
         }
         Self {
-            depth: parts.depth,
+            depth,
             shard_bits,
             shards: maps.into_boxed_slice(),
-            labels: parts.labels,
-            apps: parts.apps,
-            label_app: parts.label_app,
+            labels,
+            apps,
+            label_app,
         }
     }
 
@@ -156,40 +179,23 @@ impl Snapshot {
         shards: usize,
     ) -> Result<Self, BinFormatError> {
         let metric_ids = efdb.resolve_metrics(catalog)?;
-        let label_app = efdb.label_app();
-        let shard_bits = shard_bits_for(shards);
-        let mut maps: Vec<FxHashMap<Fingerprint, SnapEntry>> =
-            (0..(1usize << shard_bits)).map(|_| FxHashMap::default()).collect();
-        for e in efdb.entries() {
+        let entries = efdb.entries().iter().map(|e| {
             let fp = Fingerprint::from_rounded(
                 metric_ids[e.metric as usize],
                 e.node,
                 e.interval,
                 e.mean(),
             );
-            let mut apps: Vec<AppNameId> = Vec::with_capacity(1);
-            for id in &e.labels {
-                let app = label_app[id.index()];
-                if !apps.contains(&app) {
-                    apps.push(app);
-                }
-            }
-            maps[shard_of(&fp, shard_bits)].insert(
-                fp,
-                SnapEntry {
-                    labels: e.labels.clone().into_boxed_slice(),
-                    apps: apps.into_boxed_slice(),
-                },
-            );
-        }
-        Ok(Self {
-            depth: efdb.depth(),
-            shard_bits,
-            shards: maps.into_boxed_slice(),
-            labels: efdb.labels().to_vec(),
-            apps: efdb.apps().to_vec(),
-            label_app: label_app.to_vec(),
-        })
+            (fp, e.labels.clone().into_boxed_slice())
+        });
+        Ok(Self::assemble(
+            efdb.depth(),
+            entries,
+            efdb.labels().to_vec(),
+            efdb.apps().to_vec(),
+            efdb.label_app().to_vec(),
+            shards,
+        ))
     }
 
     /// Thaw back into a mutable [`EfdDictionary`] — e.g. to keep learning
@@ -262,49 +268,64 @@ impl Snapshot {
     /// and a final scan. This is what
     /// [`crate::BatchRecognizer::best_batch`] runs per worker thread.
     pub fn best_with<'s>(&'s self, query: &Query, scratch: &mut VoteScratch) -> Option<&'s str> {
-        scratch.ensure(self.labels.len(), self.apps.len());
-        for p in &query.points {
-            let Some(fp) = Fingerprint::from_raw(p.metric, p.node, p.interval, p.mean, self.depth)
-            else {
-                continue;
-            };
-            let Some(entry) = self.shards[shard_of(&fp, self.shard_bits)].get(&fp) else {
-                continue;
-            };
-            for &app in entry.apps.iter() {
-                scratch.vote_app(app);
-            }
-        }
-        scratch.finish_best(&self.apps)
+        keystore::best_with(self, query, scratch)
     }
 }
 
-/// The published form as an engine backend — `recognize_into` is the
-/// serving layer's zero-allocation read path: dense per-thread vote
-/// counters, no locks, answers in [`Recognition::normalized`] order.
-impl Recognize for Snapshot {
-    fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
-        scratch.ensure(self.labels.len(), self.apps.len());
-        let mut matched = 0usize;
-        for p in &query.points {
-            let Some(fp) = Fingerprint::from_raw(p.metric, p.node, p.interval, p.mean, self.depth)
-            else {
-                continue;
-            };
-            let Some(entry) = self.shards[shard_of(&fp, self.shard_bits)].get(&fp) else {
-                continue;
-            };
-            matched += 1;
+/// The owned [`KeyStore`]: fingerprints resolve through the shard maps,
+/// and app votes come from each entry's pre-deduplicated app list (built
+/// at freeze time, so no per-point dedup set is needed).
+impl KeyStore for Snapshot {
+    fn depth(&self) -> RoundingDepth {
+        self.depth
+    }
+
+    fn labels(&self) -> &[AppLabel] {
+        &self.labels
+    }
+
+    fn apps(&self) -> &[String] {
+        &self.apps
+    }
+
+    #[inline]
+    fn vote(&self, fp: &Fingerprint, scratch: &mut VoteScratch, wide: bool) -> bool {
+        let Some(entry) = self.shards[shard_of(fp, self.shard_bits)].get(fp) else {
+            return false;
+        };
+        if wide {
+            for &id in entry.labels.iter() {
+                scratch.vote_label_wide(id);
+            }
+        } else {
             for &id in entry.labels.iter() {
                 scratch.vote_label(id);
             }
-            // `entry.apps` is pre-deduplicated at freeze time: one vote per
-            // app per matched point, no per-point dedup set needed.
-            for &app in entry.apps.iter() {
-                scratch.vote_app(app);
-            }
         }
-        scratch.finish(&self.labels, &self.apps, matched, query.points.len())
+        for &app in entry.apps.iter() {
+            scratch.vote_app(app);
+        }
+        true
+    }
+
+    #[inline]
+    fn vote_apps(&self, fp: &Fingerprint, scratch: &mut VoteScratch) -> bool {
+        let Some(entry) = self.shards[shard_of(fp, self.shard_bits)].get(fp) else {
+            return false;
+        };
+        for &app in entry.apps.iter() {
+            scratch.vote_app(app);
+        }
+        true
+    }
+}
+
+/// The published form as an engine backend — `recognize_into` runs the
+/// shared [`keystore`] vote kernel over the shard maps: dense per-thread
+/// vote counters, no locks, answers in [`Recognition::normalized`] order.
+impl Recognize for Snapshot {
+    fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
+        keystore::recognize_with(self, query, scratch)
     }
 }
 
