@@ -13,6 +13,10 @@
 //!           [--backend snapshot|sharded|combo|efdb]  (one engine API, any backend)
 //! efd serve --wal <dir> [--learn N]       durable serving: write-ahead logged
 //!           [--wal-sync always|batch|none]      learning, crash recovery on restart
+//! efd serve --listen <addr> ...           the network daemon: TCP frame protocol,
+//!                                         /metrics over HTTP, SIGHUP hot reload
+//! efd loadgen --addr <a> [--qps N]        drive a daemon, report latency percentiles
+//! efd ctl <action> --addr <a>             ping|stats|swap|shutdown|metrics
 //! efd compact --wal <dir> [--out p]       merge WAL segments+log into canonical EFDB
 //! efd wal-verify --wal <dir>              audit a WAL directory offline
 //! efd bench-snapshot [--out f]            machine-readable perf snapshot (BENCH_7.json)
@@ -401,6 +405,21 @@ fn dump_to(args: &Args, out: &str, format: DumpFormat) -> Result<(), String> {
 fn cmd_dump(args: &Args) -> Result<(), String> {
     let out = args.flag("out").ok_or("need --out <path>")?;
     let format = DumpFormat::from_args(args, out)?;
+    if let Some(keys) = args.flag_parsed::<usize>("synth-keys")? {
+        // The synthetic serving keyspace (shared with `bench-snapshot`
+        // and `loadgen --keyspace`) instead of the trained dataset —
+        // how the 1M-key daemon fixture is produced.
+        let d = dataset_from(args)?;
+        let dict = synth_keyspace_dict(keys, headline(&d));
+        let bytes = encode_dict(&dict, d.catalog(), format);
+        std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
+        println!(
+            "wrote {} bytes to {out} ({}, {keys} synthetic keys)",
+            bytes.len(),
+            format.name()
+        );
+        return Ok(());
+    }
     dump_to(args, out, format)
 }
 
@@ -778,6 +797,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     use std::sync::Arc;
     use std::time::Instant;
 
+    if let Some(addr) = args.flag("listen") {
+        return cmd_serve_listen(args, addr);
+    }
+
     if let Some(dir) = args.flag("wal") {
         if args.flag("load").is_some() || args.flag("dict").is_some() {
             return Err("--wal and --load are mutually exclusive".into());
@@ -924,6 +947,330 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Point a SIGHUP at the daemon's reload flag. The handler only stores
+/// an atomic; the acceptor thread polls and performs the actual reload,
+/// so nothing async-signal-unsafe runs in signal context.
+#[cfg(unix)]
+fn install_sighup(flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+    static HUP_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    extern "C" fn on_hup(_sig: i32) {
+        if let Some(f) = HUP_FLAG.get() {
+            f.store(true, Ordering::SeqCst);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGHUP: i32 = 1;
+    let _ = HUP_FLAG.set(flag);
+    unsafe {
+        signal(SIGHUP, on_hup);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sighup(_flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {}
+
+/// `efd serve --listen <addr>`: the network daemon. Every backend of
+/// the batch demo above, behind a socket: frame-protocol recognition
+/// (one-shot and streaming), `/metrics` over HTTP on the same port,
+/// SIGHUP / `SWAP` hot reload, graceful shutdown via `efd ctl`.
+fn cmd_serve_listen(args: &Args, addr: &str) -> Result<(), String> {
+    use efd_serve::net::{self, BackendKind};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let d = dataset_from(args)?;
+    let shards: usize = args.flag_parsed("shards")?.unwrap_or(8);
+    let backend_name = args.flag("backend").unwrap_or("snapshot");
+    let backend = BackendKind::parse(backend_name).ok_or_else(|| {
+        format!("unknown --backend {backend_name:?} (snapshot|sharded|combo|efdb)")
+    })?;
+    let mut cfg = net::ServerConfig::new(d.catalog().clone());
+    cfg.workers = args.flag_parsed::<usize>("workers")?.unwrap_or(4).max(1);
+    cfg.idle_timeout =
+        Duration::from_secs(args.flag_parsed::<u64>("idle-timeout")?.unwrap_or(30).max(1));
+    cfg.shards = shards;
+    cfg.backend = backend;
+
+    let engine = if let Some(dir) = args.flag("wal") {
+        if args.flag("load").is_some() || args.flag("dict").is_some() {
+            return Err("--wal and --load are mutually exclusive".into());
+        }
+        let depth_raw: u8 = args.flag_parsed("depth")?.unwrap_or(2);
+        let depth = efd_core::RoundingDepth::try_new(depth_raw)
+            .ok_or_else(|| format!("invalid --depth {depth_raw} (1..=17)"))?;
+        let sync_raw = args.flag("wal-sync").unwrap_or("batch");
+        let sync = efd_core::SyncPolicy::parse(sync_raw)
+            .ok_or_else(|| format!("invalid --wal-sync {sync_raw:?} (always|batch|none|<n>)"))?;
+        let options = efd_core::wal::WalOptions {
+            sync,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let (served, recovery) = efd_serve::DurableDictionary::open(
+            std::path::Path::new(dir),
+            depth,
+            shards,
+            d.catalog(),
+            options,
+        )
+        .map_err(|e| format!("{dir}: {e}"))?;
+        if let Some(fault) = &recovery.tail_fault {
+            eprintln!(
+                "warning: wal tail: {fault}; discarded {} bytes past the valid prefix",
+                recovery.truncated_bytes
+            );
+        }
+        println!(
+            "recovered:  {dir} — segment {}, {} log records replayed, {:.2} ms",
+            recovery.segments,
+            recovery.replayed,
+            t.elapsed().as_secs_f64() * 1e3,
+        );
+        net::Engine::durable(Arc::new(served))
+    } else {
+        let path = match (args.flag("dict"), args.flag("load")) {
+            (Some(p), None) | (None, Some(p)) => p,
+            (Some(_), Some(_)) => return Err("--dict and --load are mutually exclusive".into()),
+            (None, None) => {
+                return Err(
+                    "need --load <dump.json|dict.efdb> or --wal <dir> (produce a dump with `efd dump`)"
+                        .into(),
+                )
+            }
+        };
+        cfg.reload_path = Some(std::path::PathBuf::from(path));
+        net::load_engine(std::path::Path::new(path), backend, d.catalog(), shards)?
+    };
+    println!(
+        "engine:     {} — {} keys (generation 1)",
+        engine.kind, engine.keys
+    );
+
+    let workers = cfg.workers;
+    let server = net::Server::start(addr, cfg, engine)?;
+    install_sighup(server.hup_flag());
+    println!(
+        "listening:  {} — {workers} workers; GET /metrics and /healthz on the same port",
+        server.local_addr()
+    );
+    println!("control:    efd ctl <ping|stats|swap|shutdown|metrics> --addr {}", server.local_addr());
+    while server.running() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let summary = server.join();
+    println!(
+        "served:     {} requests over {} connections",
+        summary.requests, summary.connections
+    );
+    Ok(())
+}
+
+/// `efd loadgen --addr <a>`: drive a running daemon and report latency
+/// percentiles (optionally into `BENCH_8.json`).
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    use efd_serve::net::loadgen::{run, LoadgenConfig};
+    use std::time::Duration;
+
+    let addr = args.flag("addr").ok_or("need --addr <host:port>")?;
+    let mut cfg = LoadgenConfig::new(addr);
+    if let Some(n) = args.flag_parsed::<usize>("conns")? {
+        cfg.connections = n.max(1);
+    }
+    let secs: f64 = args.flag_parsed("duration")?.unwrap_or(5.0);
+    if secs <= 0.0 || !secs.is_finite() {
+        return Err(format!("invalid --duration {secs} (seconds, > 0)"));
+    }
+    cfg.duration = Duration::from_secs_f64(secs);
+    cfg.target_qps = args.flag_parsed::<u64>("qps")?;
+    if let Some(p) = args.flag_parsed::<usize>("pipeline")? {
+        cfg.pipeline = p.max(1);
+    }
+    let pool: usize = args.flag_parsed("requests")?.unwrap_or(512).max(1);
+
+    // The request mix: PINGs (protocol floor), a synthetic keyspace mix
+    // (matches `dump --synth-keys N`), or dataset-derived queries (the
+    // same stream `serve --synth` answers).
+    cfg.payloads = if matches!(args.flag("ping"), Some("true") | Some("1")) {
+        vec!["PING".to_string()]
+    } else if let Some(keys) = args.flag_parsed::<usize>("keyspace")? {
+        let d = dataset_from(args)?;
+        let name = d.catalog().name(headline(&d)).to_string();
+        synth_keyspace_payloads(&name, keys, pool)
+    } else {
+        let d = dataset_from(args)?;
+        let name = d.catalog().name(headline(&d)).to_string();
+        synth_queries(&d, pool)
+            .iter()
+            .map(|q| render_recognize_line(&name, q))
+            .collect()
+    };
+
+    println!(
+        "loadgen:    {} — {} conns, {:.1} s, pipeline {}, {}",
+        cfg.addr,
+        cfg.connections,
+        secs,
+        cfg.pipeline,
+        match cfg.target_qps {
+            Some(q) => format!("paced at {q} req/s"),
+            None => "unpaced (max rate)".to_string(),
+        },
+    );
+    let report = run(&cfg)?;
+    let us = |s: f64| s * 1e6;
+    println!(
+        "throughput: {} responses in {:.1} s → {:.0} verdicts/s ({} sent, {} errors)",
+        report.received,
+        report.duration.as_secs_f64(),
+        report.qps,
+        report.sent,
+        report.errors,
+    );
+    println!(
+        "verdicts:   {} recognized, {} ambiguous, {} unknown",
+        report.verdicts[0], report.verdicts[1], report.verdicts[2],
+    );
+    println!(
+        "latency:    p50 {:.0} µs, p90 {:.0} µs, p99 {:.0} µs, p99.9 {:.0} µs, max {:.0} µs",
+        us(report.latency.p50),
+        us(report.latency.p90),
+        us(report.latency.p99),
+        us(report.latency.p999),
+        us(report.latency.max),
+    );
+
+    if let Some(out) = args.flag("out") {
+        let body = format!(
+            "{{\n  \"bench\": \"loadgen\",\n  \"config\": {{ \"addr\": \"{}\", \"connections\": {}, \
+             \"duration_s\": {:.1}, \"qps_target\": {}, \"pipeline\": {}, \"payload_pool\": {} }},\n  \
+             \"sent\": {},\n  \"received\": {},\n  \"errors\": {},\n  \
+             \"verdicts\": {{ \"recognized\": {}, \"ambiguous\": {}, \"unknown\": {} }},\n  \
+             \"verdicts_per_s\": {:.1},\n  \
+             \"latency_us\": {{ \"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1}, \"max\": {:.1} }}\n}}\n",
+            cfg.addr,
+            cfg.connections,
+            secs,
+            cfg.target_qps.map_or("null".to_string(), |q| q.to_string()),
+            cfg.pipeline,
+            cfg.payloads.len(),
+            report.sent,
+            report.received,
+            report.errors,
+            report.verdicts[0],
+            report.verdicts[1],
+            report.verdicts[2],
+            report.qps,
+            us(report.latency.p50),
+            us(report.latency.p90),
+            us(report.latency.p99),
+            us(report.latency.p999),
+            us(report.latency.max),
+        );
+        std::fs::write(out, &body).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote:      {out}");
+    }
+    Ok(())
+}
+
+/// Render one RECOGNIZE request line for a single-metric query.
+fn render_recognize_line(metric_name: &str, q: &efd_core::Query) -> String {
+    let iv = q.points.first().map(|p| p.interval).unwrap_or(efd_telemetry::Interval::PAPER_DEFAULT);
+    let mut s = format!("RECOGNIZE {metric_name} {} {}", iv.start, iv.end);
+    for p in &q.points {
+        s.push_str(&format!(" {}", p.mean));
+    }
+    s
+}
+
+/// `efd ctl <action> --addr <a>`: one-shot daemon control — speaks one
+/// protocol request (or one HTTP scrape for `metrics`) and prints the
+/// response. Exits nonzero on an `ERR` response.
+fn cmd_ctl(args: &Args) -> Result<(), String> {
+    use efd_serve::net::protocol::{write_frame, FrameError, FrameReader};
+    use std::io::{Read, Write};
+    use std::time::{Duration, Instant};
+
+    let action = args
+        .positional
+        .first()
+        .ok_or("ctl needs an action (ping|stats|swap|shutdown|metrics)")?;
+    let addr = args.flag("addr").ok_or("need --addr <host:port>")?;
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .map_err(|e| e.to_string())?;
+
+    if action == "metrics" {
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: efd\r\nConnection: close\r\n\r\n")
+            .map_err(|e| format!("{addr}: {e}"))?;
+        let mut raw = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut buf = [0u8; 4096];
+        while Instant::now() < deadline {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(format!("{addr}: {e}")),
+            }
+        }
+        let text = String::from_utf8_lossy(&raw);
+        let (head, body) = text
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+        let status = head.lines().next().unwrap_or("");
+        if !status.contains("200") {
+            return Err(format!("{addr}: {status}"));
+        }
+        print!("{body}");
+        return Ok(());
+    }
+
+    let line = match action.as_str() {
+        "ping" => "PING".to_string(),
+        "stats" => "STATS".to_string(),
+        "shutdown" => "SHUTDOWN".to_string(),
+        "swap" => match args.flag("path") {
+            Some(p) => format!("SWAP {p}"),
+            None => "SWAP".to_string(),
+        },
+        other => {
+            return Err(format!(
+                "unknown ctl action {other:?} (ping|stats|swap|shutdown|metrics)"
+            ))
+        }
+    };
+    write_frame(&mut stream, line.as_bytes()).map_err(|e| format!("{addr}: {e}"))?;
+    let mut reader = FrameReader::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match reader.read_frame(&mut stream) {
+            Ok(Some(payload)) => {
+                let text = String::from_utf8_lossy(payload).to_string();
+                println!("{text}");
+                if text.starts_with("ERR ") {
+                    return Err(format!("{addr}: daemon refused: {text}"));
+                }
+                return Ok(());
+            }
+            Ok(None) => return Err(format!("{addr}: daemon closed without answering")),
+            Err(FrameError::Timeout) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("{addr}: timed out waiting for a response"));
+                }
+            }
+            Err(e) => return Err(format!("{addr}: {e}")),
+        }
+    }
+}
+
 /// `efd compact --wal <dir> [--out <path>]`: merge a WAL directory's
 /// newest segment + log tail into one canonical EFDB segment.
 fn cmd_compact(args: &Args) -> Result<(), String> {
@@ -1009,6 +1356,45 @@ fn cmd_wal_verify(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The shared synthetic keyspace: key `i` is `(headline metric,
+/// node i % 64, [60:120], mean 100_000 + i)` labeled `app{i%50}/X` at
+/// rounding depth 6 (sequential means stay distinct). `bench-snapshot`,
+/// `dump --synth-keys`, and `loadgen --keyspace` all derive from this
+/// one shape, so a loadgen against a `--synth-keys` EFDB hits real keys
+/// by construction.
+fn synth_keyspace_dict(keys: usize, metric: efd_telemetry::MetricId) -> EfdDictionary {
+    let mut dict = EfdDictionary::new(efd_core::RoundingDepth::new(6));
+    for i in 0..keys {
+        dict.insert_raw(
+            metric,
+            efd_telemetry::NodeId((i % 64) as u16),
+            efd_telemetry::Interval::PAPER_DEFAULT,
+            100_000.0 + i as f64,
+            &efd_telemetry::AppLabel::new(format!("app{:03}", i % 50), "X"),
+        );
+    }
+    dict
+}
+
+/// RECOGNIZE request lines over the synthetic keyspace: 8-node queries
+/// aligned to 64-key node blocks (so every point lands on its node's
+/// keys), with ~9% of blocks drawn past the keyspace end as misses.
+fn synth_keyspace_payloads(metric_name: &str, keys: usize, count: usize) -> Vec<String> {
+    let blocks = (keys / 64).max(1);
+    let mut rng = efd_util::SplitMix64::new(0x10AD);
+    (0..count.max(1))
+        .map(|_| {
+            let r = (rng.next_u64() as usize) % (blocks + blocks / 10 + 1);
+            let i0 = r * 64;
+            let mut s = format!("RECOGNIZE {metric_name} 60 120");
+            for j in 0..8 {
+                s.push_str(&format!(" {}", 100_000.0 + (i0 + j) as f64));
+            }
+            s
+        })
+        .collect()
+}
+
 /// `efd bench-snapshot [--out BENCH_7.json]`: time the persistence,
 /// durability, and serving-cold-start hot paths and write a
 /// machine-readable snapshot (bench name, config, ns/op, throughput)
@@ -1025,20 +1411,10 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
     let metric = headline(&d);
     let metric_name = catalog.name(metric);
 
-    // A synthetic dictionary with `keys` distinct fingerprints (depth 6
-    // keeps sequential means distinct), mirroring the perf_persistence
-    // bench shape.
+    // The shared synthetic keyspace (see `synth_keyspace_dict`),
+    // mirroring the perf_persistence bench shape.
     let depth = efd_core::RoundingDepth::new(6);
-    let mut dict = EfdDictionary::new(depth);
-    for i in 0..keys {
-        dict.insert_raw(
-            metric,
-            efd_telemetry::NodeId((i % 64) as u16),
-            efd_telemetry::Interval::PAPER_DEFAULT,
-            100_000.0 + i as f64,
-            &efd_telemetry::AppLabel::new(format!("app{:03}", i % 50), "X"),
-        );
-    }
+    let dict = synth_keyspace_dict(keys, metric);
 
     let best_of = |mut f: Box<dyn FnMut() -> usize>| -> (f64, usize) {
         let mut best = f64::INFINITY;
@@ -1269,7 +1645,8 @@ COMMANDS
   ingest-csv             recognize a run from CSVs: --dir <path> --run <prefix>
   dump                   train on all runs, write the dictionary: --out <path>
                          [--format efdb|json] (default by extension; .efdb = binary,
-                         see docs/FORMAT.md)
+                         see docs/FORMAT.md); [--synth-keys N] writes the synthetic
+                         serving keyspace instead (pairs with `loadgen --keyspace N`)
   convert                convert a dump between JSON and EFDB: --in <a> --out <b>
                          [--format efdb|json]; verifies the output round-trips
   export-dict            alias of `dump --format json`: --out <path>
@@ -1278,6 +1655,14 @@ COMMANDS
                          [--synth N] [--shards N] [--repeat N]
                          or durable: --wal <dir> [--learn N] [--wal-sync always|batch|none|<n>]
                          [--depth D] — write-ahead logged learning, recovery on restart
+                         or daemon: --listen <addr> (e.g. 127.0.0.1:7070) — TCP frame
+                         protocol + GET /metrics on one port; [--workers N]
+                         [--idle-timeout SECS]; hot reload on SIGHUP or `efd ctl swap`
+  loadgen                drive a running daemon: --addr <host:port> [--conns N]
+                         [--duration SECS] [--qps N] [--pipeline N] [--keyspace N]
+                         [--requests N] [--ping true] [--out BENCH_8.json]
+  ctl                    one-shot daemon control: <ping|stats|swap|shutdown|metrics>
+                         --addr <host:port> [--path <dict>]
   compact                merge a WAL directory into one canonical EFDB segment:
                          --wal <dir> [--out <path>]
   wal-verify             audit a WAL directory offline: --wal <dir> [--strict true]
@@ -1318,6 +1703,8 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(&args),
         "export-dict" => cmd_export_dict(&args),
         "serve" => cmd_serve(&args),
+        "loadgen" => cmd_loadgen(&args),
+        "ctl" => cmd_ctl(&args),
         "compact" => cmd_compact(&args),
         "wal-verify" => cmd_wal_verify(&args),
         "bench-snapshot" => cmd_bench_snapshot(&args),

@@ -210,6 +210,78 @@ fn serve_wal_with_a_missing_segment_is_a_clean_error() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A tiny synthetic EFDB dictionary on disk (for daemon-flag tests
+/// that must get past engine loading to the bind step).
+fn synth_dict(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("synth.efdb");
+    let out = efd(&["dump", "--out", path.to_str().unwrap(), "--synth-keys", "64"]);
+    assert!(
+        out.status.success(),
+        "dump --synth-keys failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+#[test]
+fn listen_on_a_malformed_address_is_a_clean_error() {
+    let dir = wal_fixture_dir("bad-addr");
+    let dict = synth_dict(&dir);
+    assert_clean_error(
+        &["serve", "--listen", "not-an-address", "--load", dict.to_str().unwrap()],
+        "bind not-an-address",
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn listen_on_a_port_already_in_use_is_a_clean_error() {
+    let dir = wal_fixture_dir("port-in-use");
+    let dict = synth_dict(&dir);
+    // Hold the port ourselves; the daemon must refuse it cleanly.
+    let taken = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = taken.local_addr().unwrap().to_string();
+    assert_clean_error(
+        &["serve", "--listen", &addr, "--load", dict.to_str().unwrap()],
+        "bind",
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// An address nothing listens on (bound ephemeral, then released).
+fn dead_addr() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    l.local_addr().unwrap().to_string()
+}
+
+#[test]
+fn loadgen_against_a_dead_daemon_is_a_clean_error() {
+    assert_clean_error(
+        &["loadgen", "--addr", &dead_addr(), "--duration", "0.2", "--ping", "true"],
+        "connect",
+    );
+}
+
+#[test]
+fn loadgen_without_addr_is_a_clean_error() {
+    assert_clean_error(&["loadgen"], "--addr");
+}
+
+#[test]
+fn ctl_against_a_dead_daemon_is_a_clean_error() {
+    let addr = dead_addr();
+    assert_clean_error(&["ctl", "ping", "--addr", &addr], &addr);
+}
+
+#[test]
+fn ctl_unknown_action_is_a_clean_error() {
+    // The action is rejected after connecting, so park a listener that
+    // accepts but never speaks.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    assert_clean_error(&["ctl", "bogus", "--addr", &addr], "unknown ctl action");
+}
+
 #[test]
 fn help_exits_zero() {
     let out = efd(&["help"]);

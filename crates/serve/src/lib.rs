@@ -37,6 +37,10 @@
 //! * [`DurableDictionary`] — a [`ShardedDictionary`] whose learns are
 //!   written ahead to an [`efd_core::wal`] directory: crash the process,
 //!   reopen, and serve exactly the durably-acknowledged state.
+//! * [`net`] — the **network** form: a TCP recognition daemon
+//!   (`efd serve --listen`) speaking a length-prefixed line protocol
+//!   over a fixed worker pool, with atomic engine hot-swap, a same-port
+//!   Prometheus `/metrics` endpoint, and a pipelined load generator.
 //!
 //! ## The engine API
 //!
@@ -78,6 +82,7 @@ pub mod combo;
 pub mod durable;
 pub mod efdb;
 pub mod keystore;
+pub mod net;
 pub mod online;
 pub mod shard;
 pub mod snapshot;

@@ -1,0 +1,24 @@
+//! Network serving: the socket-facing layer over the engine API.
+//!
+//! * [`protocol`] — length-prefixed frame codec and the line grammar
+//!   (`RECOGNIZE`, `STREAM`/`PUSH`/`FINISH`, `LEARN`, `SWAP`, ...).
+//! * [`server`] — the daemon: acceptor + fixed worker pool, hot
+//!   snapshot swap by `Arc` republication, idle-timeout discipline,
+//!   and a same-port HTTP `/metrics` + `/healthz` endpoint.
+//! * [`metrics`] — the Prometheus instrument set the daemon exports.
+//! * [`loadgen`] — the pipelined/paced client that produces
+//!   `BENCH_8.json`.
+//!
+//! Everything here is `std`-only: `TcpListener`, threads, atomics. The
+//! protocol is deliberately small enough to speak from a test with raw
+//! socket writes, which is how the robustness suite drives torn and
+//! malformed frames.
+
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use metrics::DaemonMetrics;
+pub use protocol::{FrameError, FrameReader, Request, MAX_FRAME};
+pub use server::{load_engine, BackendKind, Engine, ServeSummary, Server, ServerConfig};

@@ -1,0 +1,649 @@
+//! Wire protocol: length-prefixed frames carrying a UTF-8 line grammar.
+//!
+//! A frame is a little-endian `u32` payload length followed by exactly
+//! that many bytes of UTF-8 text. The prefix is bounded by
+//! [`MAX_FRAME`] (1 MiB) and must be nonzero, which makes the framing
+//! self-validating: a client that writes garbage almost always produces
+//! an oversized prefix and is rejected with a structured error instead
+//! of making the server buffer gigabytes. The bound also disambiguates
+//! plain-HTTP probes — the first four bytes of `GET /metrics HTTP/1.1`
+//! decode to the little-endian integer `0x2054_4547`, far above
+//! [`MAX_FRAME`], so one listening port can serve both the frame
+//! protocol and a `/metrics` scrape endpoint without a reserved byte.
+//!
+//! Payloads are single lines of space-separated tokens:
+//!
+//! ```text
+//! PING
+//! RECOGNIZE <metric> <start> <end> <mean0> [mean1 ...]
+//! STREAM <metric> <nodes> <start> <end>
+//! PUSH <node> <t> <value>
+//! FINISH
+//! LEARN <app> <input> <metric> <start> <end> <mean0> [mean1 ...]
+//! SWAP [<path>]
+//! STATS
+//! SHUTDOWN
+//! ```
+//!
+//! and responses mirror the shape (`<gen>` is the snapshot generation
+//! the answer was computed against — the hot-swap tests pivot on it):
+//!
+//! ```text
+//! PONG
+//! OK <gen> <matched> <total> recognized <app> | ambiguous <a,b,..> | unknown
+//! OPENED <gen> <horizon_s>
+//! ACK <collected>
+//! VERDICT <gen> <matched> <total> <same tail as OK>
+//! LEARNED <keys>
+//! SWAPPED <gen> <keys>
+//! STATS gen=<g> keys=<k> backend=<name> requests=<n>
+//! BYE
+//! ERR <kind> <message>
+//! ```
+//!
+//! Token grammar restriction: metric, application, and input names must
+//! not contain whitespace (true of every catalog metric and of the
+//! synthetic workload labels). Ambiguous verdict apps are joined with
+//! `,` and therefore must not contain commas either.
+
+use std::io::{self, Read, Write};
+
+use efd_core::{Recognition, Verdict};
+
+/// Hard ceiling on a frame payload (1 MiB). A `RECOGNIZE` for 4096
+/// nodes is ~100 KB, so real traffic sits far below; anything above is
+/// a protocol violation, not a big request.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Everything that can go wrong while reading one frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The read timed out (`WouldBlock`/`TimedOut`). Reader state is
+    /// preserved — call [`FrameReader::read_frame`] again to resume.
+    /// [`FrameReader::mid_frame`] tells whether a partial frame is
+    /// pending (a slow-loris indicator).
+    Timeout,
+    /// The peer closed the connection in the middle of a frame (after a
+    /// partial length prefix or a partial payload).
+    Torn,
+    /// The length prefix exceeds [`MAX_FRAME`]; the value is carried
+    /// for diagnostics.
+    Oversized(u32),
+    /// A zero-length frame; the grammar has no empty request.
+    Empty,
+    /// Any other I/O error (reset, broken pipe, ...).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Timeout => write!(f, "read timed out"),
+            FrameError::Torn => write!(f, "connection closed mid-frame"),
+            FrameError::Oversized(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME}-byte limit")
+            }
+            FrameError::Empty => write!(f, "zero-length frame"),
+            FrameError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A resumable frame decoder for one connection.
+///
+/// Read timeouts are how the server implements idle accounting (each
+/// worker reads with a short timeout and tallies quiet ticks), so the
+/// decoder must survive a timeout at *any* byte boundary — including
+/// inside the 4-byte prefix — and continue exactly where it stopped.
+/// All partial state lives here, not on the stack of a blocked read.
+#[derive(Debug)]
+pub struct FrameReader {
+    prefix: [u8; 4],
+    prefix_got: usize,
+    payload: Vec<u8>,
+    payload_got: usize,
+    /// `Some(len)` once the prefix is complete and validated.
+    expecting: Option<usize>,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameReader {
+    /// A fresh decoder positioned at a frame boundary.
+    pub fn new() -> Self {
+        FrameReader {
+            prefix: [0; 4],
+            prefix_got: 0,
+            payload: Vec::new(),
+            payload_got: 0,
+            expecting: None,
+        }
+    }
+
+    /// True if a frame is partially read (prefix or payload bytes seen,
+    /// frame not complete).
+    pub fn mid_frame(&self) -> bool {
+        self.prefix_got > 0 || self.expecting.is_some()
+    }
+
+    /// Read until one complete frame, EOF at a frame boundary, or an
+    /// error. `Ok(Some(payload))` borrows this reader and is valid
+    /// until the next call; `Ok(None)` is a clean close.
+    pub fn read_frame(&mut self, r: &mut impl Read) -> Result<Option<&[u8]>, FrameError> {
+        while self.expecting.is_none() {
+            match r.read(&mut self.prefix[self.prefix_got..]) {
+                Ok(0) => {
+                    return if self.prefix_got == 0 {
+                        Ok(None)
+                    } else {
+                        Err(FrameError::Torn)
+                    };
+                }
+                Ok(n) => {
+                    self.prefix_got += n;
+                    if self.prefix_got == 4 {
+                        let len = u32::from_le_bytes(self.prefix);
+                        if len > MAX_FRAME {
+                            return Err(FrameError::Oversized(len));
+                        }
+                        if len == 0 {
+                            return Err(FrameError::Empty);
+                        }
+                        self.expecting = Some(len as usize);
+                        self.payload.resize(len as usize, 0);
+                        self.payload_got = 0;
+                    }
+                }
+                Err(e) => return Err(map_io(e)),
+            }
+        }
+        let len = self.expecting.expect("prefix complete");
+        while self.payload_got < len {
+            match r.read(&mut self.payload[self.payload_got..len]) {
+                Ok(0) => return Err(FrameError::Torn),
+                Ok(n) => self.payload_got += n,
+                Err(e) => return Err(map_io(e)),
+            }
+        }
+        // Frame complete: reset to the next boundary before handing the
+        // payload out (the buffer itself survives until the next call).
+        self.prefix_got = 0;
+        self.expecting = None;
+        Ok(Some(&self.payload[..len]))
+    }
+}
+
+fn map_io(e: io::Error) -> FrameError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::Timeout,
+        io::ErrorKind::Interrupted => FrameError::Timeout,
+        _ => FrameError::Io(e),
+    }
+}
+
+/// Write one frame: length prefix + payload, no flush (callers batch
+/// behind a `BufWriter` and flush per response).
+///
+/// # Panics
+///
+/// Panics if `payload` is empty or exceeds [`MAX_FRAME`] — both are
+/// caller bugs, not runtime conditions.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    assert!(!payload.is_empty(), "empty frame");
+    assert!(payload.len() <= MAX_FRAME as usize, "oversized frame");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// The protocol command of a request, used for per-command metrics
+/// labels. Declared separately from [`Request`] so counters can be
+/// pre-registered for every command at daemon start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// `PING`
+    Ping,
+    /// `RECOGNIZE`
+    Recognize,
+    /// `STREAM`
+    Stream,
+    /// `PUSH`
+    Push,
+    /// `FINISH`
+    Finish,
+    /// `LEARN`
+    Learn,
+    /// `SWAP`
+    Swap,
+    /// `STATS`
+    Stats,
+    /// `SHUTDOWN`
+    Shutdown,
+}
+
+/// Every command, in a fixed order (metric registration order).
+pub const COMMANDS: [Command; 9] = [
+    Command::Ping,
+    Command::Recognize,
+    Command::Stream,
+    Command::Push,
+    Command::Finish,
+    Command::Learn,
+    Command::Swap,
+    Command::Stats,
+    Command::Shutdown,
+];
+
+impl Command {
+    /// Lowercase label value for `efd_requests_total{command=...}`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Command::Ping => "ping",
+            Command::Recognize => "recognize",
+            Command::Stream => "stream",
+            Command::Push => "push",
+            Command::Finish => "finish",
+            Command::Learn => "learn",
+            Command::Swap => "swap",
+            Command::Stats => "stats",
+            Command::Shutdown => "shutdown",
+        }
+    }
+
+    /// Index into [`COMMANDS`]-ordered metric arrays.
+    pub fn index(self) -> usize {
+        COMMANDS.iter().position(|c| *c == self).expect("in COMMANDS")
+    }
+}
+
+/// A parsed request. Metric names stay as strings here — resolution
+/// against the catalog happens in the server, where an unknown name
+/// becomes a structured `ERR unknown-metric`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// One-shot recognition of per-node window means.
+    Recognize {
+        /// Catalog metric name.
+        metric: String,
+        /// Window start (seconds).
+        start: u32,
+        /// Window end (seconds, exclusive).
+        end: u32,
+        /// One window mean per node.
+        means: Vec<f64>,
+    },
+    /// Open this connection's streaming session.
+    Stream {
+        /// Catalog metric name.
+        metric: String,
+        /// Number of nodes streaming samples.
+        nodes: u16,
+        /// Fingerprint window start.
+        start: u32,
+        /// Fingerprint window end.
+        end: u32,
+    },
+    /// Feed one raw 1 Hz sample into the open session.
+    Push {
+        /// Node index within the declared stream.
+        node: u16,
+        /// Sample timestamp (seconds since job start).
+        t: u32,
+        /// Sampled metric value.
+        value: f64,
+    },
+    /// Force a verdict from the open session, flushing open windows.
+    Finish,
+    /// Write-ahead learn one labeled observation (durable mode only).
+    Learn {
+        /// Application name.
+        app: String,
+        /// Input-size label.
+        input: String,
+        /// Catalog metric name.
+        metric: String,
+        /// Window start.
+        start: u32,
+        /// Window end.
+        end: u32,
+        /// One window mean per node.
+        means: Vec<f64>,
+    },
+    /// Republish the engine from a dictionary file (empty path = the
+    /// daemon's `--load` path).
+    Swap {
+        /// Dictionary path, or empty for the configured reload path.
+        path: String,
+    },
+    /// One-line daemon status.
+    Stats,
+    /// Graceful daemon shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// The command this request carries (metrics label).
+    pub fn command(&self) -> Command {
+        match self {
+            Request::Ping => Command::Ping,
+            Request::Recognize { .. } => Command::Recognize,
+            Request::Stream { .. } => Command::Stream,
+            Request::Push { .. } => Command::Push,
+            Request::Finish => Command::Finish,
+            Request::Learn { .. } => Command::Learn,
+            Request::Swap { .. } => Command::Swap,
+            Request::Stats => Command::Stats,
+            Request::Shutdown => Command::Shutdown,
+        }
+    }
+
+    /// Parse one request line. Errors are human-readable fragments for
+    /// an `ERR malformed <why>` response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut it = line.split_ascii_whitespace();
+        let verb = it.next().ok_or("blank request")?;
+        match verb {
+            "PING" => end(it, Request::Ping),
+            "RECOGNIZE" => {
+                let metric = word(&mut it, "metric")?;
+                let (start, end) = window(&mut it)?;
+                let means = means(it)?;
+                Ok(Request::Recognize {
+                    metric,
+                    start,
+                    end,
+                    means,
+                })
+            }
+            "STREAM" => {
+                let metric = word(&mut it, "metric")?;
+                let nodes: u16 = num(&mut it, "nodes")?;
+                if nodes == 0 {
+                    return Err("STREAM needs at least one node".into());
+                }
+                let (start, e) = window(&mut it)?;
+                end(
+                    it,
+                    Request::Stream {
+                        metric,
+                        nodes,
+                        start,
+                        end: e,
+                    },
+                )
+            }
+            "PUSH" => {
+                let node: u16 = num(&mut it, "node")?;
+                let t: u32 = num(&mut it, "t")?;
+                let value: f64 = num(&mut it, "value")?;
+                if !value.is_finite() {
+                    return Err("PUSH value must be finite".into());
+                }
+                end(it, Request::Push { node, t, value })
+            }
+            "FINISH" => end(it, Request::Finish),
+            "LEARN" => {
+                let app = word(&mut it, "app")?;
+                let input = word(&mut it, "input")?;
+                let metric = word(&mut it, "metric")?;
+                let (start, end) = window(&mut it)?;
+                let means = means(it)?;
+                Ok(Request::Learn {
+                    app,
+                    input,
+                    metric,
+                    start,
+                    end,
+                    means,
+                })
+            }
+            "SWAP" => {
+                let path = it.next().unwrap_or("").to_string();
+                end(it, Request::Swap { path })
+            }
+            "STATS" => end(it, Request::Stats),
+            "SHUTDOWN" => end(it, Request::Shutdown),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+}
+
+fn end<'a>(
+    mut it: impl Iterator<Item = &'a str>,
+    req: Request,
+) -> Result<Request, String> {
+    match it.next() {
+        None => Ok(req),
+        Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+    }
+}
+
+fn word<'a>(it: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<String, String> {
+    it.next()
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing {what}"))
+}
+
+fn num<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<T, String> {
+    let tok = it.next().ok_or_else(|| format!("missing {what}"))?;
+    tok.parse()
+        .map_err(|_| format!("bad {what} {tok:?}"))
+}
+
+fn window<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<(u32, u32), String> {
+    let start: u32 = num(it, "window start")?;
+    let end: u32 = num(it, "window end")?;
+    if end <= start {
+        return Err(format!("bad window [{start}:{end}] (end must exceed start)"));
+    }
+    Ok((start, end))
+}
+
+fn means<'a>(it: impl Iterator<Item = &'a str>) -> Result<Vec<f64>, String> {
+    let mut out = Vec::new();
+    for tok in it {
+        let v: f64 = tok.parse().map_err(|_| format!("bad mean {tok:?}"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite mean {tok:?}"));
+        }
+        out.push(v);
+    }
+    if out.is_empty() {
+        return Err("need at least one mean".into());
+    }
+    if out.len() > u16::MAX as usize {
+        return Err("too many node means".into());
+    }
+    Ok(out)
+}
+
+/// Render the verdict tail shared by `OK` and `VERDICT` responses. The
+/// recognition is normalized first so the ambiguous array is in the
+/// deterministic lexicographic order every backend agrees on.
+pub fn verdict_tail(rec: &Recognition) -> String {
+    match &rec.verdict {
+        Verdict::Recognized(app) => format!("recognized {app}"),
+        Verdict::Ambiguous(apps) => {
+            let mut sorted = apps.clone();
+            sorted.sort();
+            format!("ambiguous {}", sorted.join(","))
+        }
+        // `Verdict` is non-exhaustive: future variants degrade to the
+        // safeguard bucket rather than a protocol break.
+        _ => "unknown".to_string(),
+    }
+}
+
+/// Stable label value for per-verdict counters: `recognized`,
+/// `ambiguous`, or `unknown`.
+pub fn verdict_label(rec: &Recognition) -> &'static str {
+    match &rec.verdict {
+        Verdict::Recognized(_) => "recognized",
+        Verdict::Ambiguous(_) => "ambiguous",
+        _ => "unknown",
+    }
+}
+
+/// Render a full `OK`/`VERDICT` response line.
+pub fn render_answer(head: &str, gen: u64, rec: &Recognition) -> String {
+    format!(
+        "{head} {gen} {} {} {}",
+        rec.matched_points,
+        rec.total_points,
+        verdict_tail(rec)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"PING").unwrap();
+        write_frame(&mut buf, b"STATS").unwrap();
+        let mut r = FrameReader::new();
+        let mut cur = std::io::Cursor::new(buf);
+        assert_eq!(r.read_frame(&mut cur).unwrap(), Some(&b"PING"[..]));
+        assert_eq!(r.read_frame(&mut cur).unwrap(), Some(&b"STATS"[..]));
+        assert_eq!(r.read_frame(&mut cur).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn torn_prefix_and_payload_are_distinguished_from_clean_eof() {
+        // 2 of 4 prefix bytes, then EOF.
+        let mut r = FrameReader::new();
+        let mut cur = std::io::Cursor::new(vec![4u8, 0]);
+        assert!(matches!(r.read_frame(&mut cur), Err(FrameError::Torn)));
+        // Full prefix promising 4 bytes, only 2 delivered.
+        let mut r = FrameReader::new();
+        let mut cur = std::io::Cursor::new(vec![4u8, 0, 0, 0, b'P', b'I']);
+        assert!(matches!(r.read_frame(&mut cur), Err(FrameError::Torn)));
+    }
+
+    #[test]
+    fn oversized_and_empty_prefixes_are_rejected() {
+        let mut r = FrameReader::new();
+        let huge = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        let mut cur = std::io::Cursor::new(huge);
+        assert!(matches!(
+            r.read_frame(&mut cur),
+            Err(FrameError::Oversized(n)) if n == MAX_FRAME + 1
+        ));
+        let mut r = FrameReader::new();
+        let mut cur = std::io::Cursor::new(0u32.to_le_bytes().to_vec());
+        assert!(matches!(r.read_frame(&mut cur), Err(FrameError::Empty)));
+    }
+
+    #[test]
+    fn http_get_prefix_reads_as_oversized() {
+        // The sniffing invariant the dual-protocol port relies on.
+        let n = u32::from_le_bytes(*b"GET ");
+        assert!(n > MAX_FRAME);
+    }
+
+    #[test]
+    fn reader_resumes_across_byte_dribble() {
+        // One byte at a time through a reader that yields between reads —
+        // the slow-loris read path.
+        struct OneByte<'a>(&'a [u8], usize);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "dry"));
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"PING").unwrap();
+        let mut src = OneByte(&framed, 0);
+        let mut r = FrameReader::new();
+        let mut timeouts = 0;
+        loop {
+            match r.read_frame(&mut src) {
+                Ok(Some(p)) => {
+                    assert_eq!(p, b"PING");
+                    break;
+                }
+                Err(FrameError::Timeout) => timeouts += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+            assert!(timeouts < 3, "must finish before going dry");
+        }
+        assert!(r.mid_frame() || timeouts == 0);
+    }
+
+    #[test]
+    fn request_grammar_parses_and_rejects() {
+        assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
+        assert_eq!(
+            Request::parse("RECOGNIZE mem_free 60 120 6000.5 6010").unwrap(),
+            Request::Recognize {
+                metric: "mem_free".into(),
+                start: 60,
+                end: 120,
+                means: vec![6000.5, 6010.0],
+            }
+        );
+        assert_eq!(
+            Request::parse("STREAM vmstat::nr_dirty 4 60 120").unwrap(),
+            Request::Stream {
+                metric: "vmstat::nr_dirty".into(),
+                nodes: 4,
+                start: 60,
+                end: 120,
+            }
+        );
+        assert_eq!(
+            Request::parse("PUSH 3 61 8110.25").unwrap(),
+            Request::Push {
+                node: 3,
+                t: 61,
+                value: 8110.25,
+            }
+        );
+        assert_eq!(
+            Request::parse("SWAP").unwrap(),
+            Request::Swap { path: String::new() }
+        );
+        for bad in [
+            "",
+            "NOPE",
+            "PING extra",
+            "RECOGNIZE m 120 60 1.0", // inverted window
+            "RECOGNIZE m 60 120",     // no means
+            "RECOGNIZE m 60 120 NaN",
+            "STREAM m 0 60 120", // zero nodes
+            "PUSH 1 2",
+            "PUSH 1 2 inf",
+            "LEARN app X m 60 120",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn verdict_rendering_is_deterministic() {
+        let rec = Recognition {
+            verdict: Verdict::Ambiguous(vec!["sp".into(), "bt".into()]),
+            app_votes: vec![],
+            label_votes: vec![],
+            matched_points: 4,
+            total_points: 6,
+        };
+        assert_eq!(render_answer("OK", 7, &rec), "OK 7 4 6 ambiguous bt,sp");
+        assert_eq!(verdict_label(&rec), "ambiguous");
+    }
+}

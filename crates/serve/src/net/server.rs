@@ -1,0 +1,887 @@
+//! The recognition daemon: `TcpListener` + fixed worker pool over the
+//! engine API.
+//!
+//! ## Thread model
+//!
+//! One nonblocking acceptor thread polls `accept()` (and the SIGHUP
+//! reload flag) on a short tick and pushes accepted sockets onto a
+//! `Mutex<VecDeque<TcpStream>>` guarded by a condvar — the queue depth
+//! is exported as `efd_queue_depth`. A fixed pool of worker threads
+//! (each owning one reusable [`VoteScratch`]) pops connections and
+//! serves each one to completion: connections are long-lived and carry
+//! many requests, so per-connection (not per-request) dispatch keeps
+//! the hot path free of cross-thread handoff.
+//!
+//! ## Hot swap
+//!
+//! The engine lives behind `RwLock<Arc<Published>>`, where `Published`
+//! pairs the engine with a monotonically increasing generation. A
+//! request clones the `Arc` once and computes its whole answer against
+//! that publication — republication ([`Server::publish`], the `SWAP`
+//! command, or SIGHUP via [`Server::hup_flag`]) swaps the `Arc` and
+//! can never tear an in-flight answer. Every response carries the
+//! generation it was computed against, which is what the hot-swap test
+//! asserts on.
+//!
+//! ## Idle discipline
+//!
+//! Workers read with a 100 ms timeout and tally quiet ticks; a
+//! connection idle past [`ServerConfig::idle_timeout`] — including one
+//! dribbling a frame a byte at a time (slow loris) — is dropped and
+//! counted in `efd_protocol_errors_total{kind="idle-timeout"}`.
+//!
+//! ## One port, two protocols
+//!
+//! The first four bytes of a connection are sniffed: a valid frame
+//! prefix is ≤ [`MAX_FRAME`], while `GET `/`HEAD` decode far above it,
+//! so plain-HTTP scrapes of `/metrics` and `/healthz` share the
+//! recognition port. The sniffed bytes are consumed and replayed into
+//! whichever handler wins (a `Chain` reader for the frame path), so a
+//! peer that closes after 1–3 bytes is classified as a torn frame
+//! immediately instead of holding the worker to the idle timeout.
+
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use efd_core::engine::{Recognize, VoteScratch};
+use efd_core::{binfmt, serialize, LabeledObservation, Query};
+use efd_telemetry::{AppLabel, Interval, MetricCatalog, MetricId, NodeId};
+
+use super::metrics::DaemonMetrics;
+use super::protocol::{
+    render_answer, verdict_label, write_frame, FrameError, FrameReader, Request, MAX_FRAME,
+};
+use crate::{ComboSnapshot, DurableDictionary, EfdbSnapshot, OnlineSession, ShardedDictionary, Snapshot};
+
+/// Worker read-timeout tick: the granularity of idle accounting and
+/// shutdown observation.
+const READ_TICK: Duration = Duration::from_millis(100);
+/// Acceptor poll tick (nonblocking `accept` + reload-flag check).
+const ACCEPT_TICK: Duration = Duration::from_millis(2);
+/// Cap on `STREAM` node counts — bounds per-session memory.
+const MAX_STREAM_NODES: u16 = 4096;
+/// Cap on a buffered HTTP request head.
+const MAX_HTTP_HEAD: usize = 8 * 1024;
+
+/// Which engine backend the daemon serves (and reloads on `SWAP`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Immutable published [`Snapshot`] (the default).
+    Snapshot,
+    /// Live [`ShardedDictionary`] behind per-shard `RwLock`s.
+    Sharded,
+    /// Conjunctive [`ComboSnapshot`].
+    Combo,
+    /// Zero-copy [`EfdbSnapshot`] straight over EFDB bytes.
+    Efdb,
+}
+
+impl BackendKind {
+    /// Parse a `--backend` value.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "snapshot" => Some(BackendKind::Snapshot),
+            "sharded" => Some(BackendKind::Sharded),
+            "combo" => Some(BackendKind::Combo),
+            "efdb" => Some(BackendKind::Efdb),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Snapshot => "snapshot",
+            BackendKind::Sharded => "sharded",
+            BackendKind::Combo => "combo",
+            BackendKind::Efdb => "efdb",
+        }
+    }
+}
+
+/// A publishable engine: the recognizer every request answers through,
+/// plus the optional durable learner (`--wal` mode) that accepts
+/// `LEARN` requests.
+#[derive(Clone)]
+pub struct Engine {
+    /// The recognition backend behind the engine API.
+    pub recognizer: Arc<dyn Recognize + Send + Sync>,
+    /// Present only in durable (`--wal`) mode; `LEARN` writes ahead
+    /// through it, and reads see learns immediately (the recognizer
+    /// *is* the durable dictionary's sharded live form).
+    pub learner: Option<Arc<DurableDictionary>>,
+    /// Key count at publication time (live key count in durable mode
+    /// comes from [`Engine::keys_now`]).
+    pub keys: usize,
+    /// Short backend kind name for `STATS` (`snapshot`, `efdb`, ...).
+    pub kind: &'static str,
+}
+
+impl Engine {
+    /// An immutable (file-backed) engine.
+    pub fn fixed(
+        recognizer: Arc<dyn Recognize + Send + Sync>,
+        keys: usize,
+        kind: &'static str,
+    ) -> Self {
+        Engine {
+            recognizer,
+            learner: None,
+            keys,
+            kind,
+        }
+    }
+
+    /// A durable engine: serves and learns through one
+    /// [`DurableDictionary`].
+    pub fn durable(d: Arc<DurableDictionary>) -> Self {
+        let keys = d.dictionary().len();
+        Engine {
+            recognizer: d.clone(),
+            learner: Some(d),
+            keys,
+            kind: "durable",
+        }
+    }
+
+    /// Current key count: live in durable mode, frozen otherwise.
+    pub fn keys_now(&self) -> usize {
+        match &self.learner {
+            Some(d) => d.dictionary().len(),
+            None => self.keys,
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("kind", &self.kind)
+            .field("keys", &self.keys)
+            .field("durable", &self.learner.is_some())
+            .finish()
+    }
+}
+
+/// Load a dictionary file into an engine of the requested backend —
+/// the same loader the `SWAP` command and SIGHUP reload use, so a
+/// republished engine is built exactly like the original.
+pub fn load_engine(
+    path: &Path,
+    backend: BackendKind,
+    catalog: &MetricCatalog,
+    shards: usize,
+) -> Result<Engine, String> {
+    let shown = path.display();
+    let raw = std::fs::read(path).map_err(|e| format!("{shown}: {e}"))?;
+    let is_efdb = raw.starts_with(&binfmt::MAGIC);
+    if backend == BackendKind::Efdb {
+        if !is_efdb {
+            return Err(format!(
+                "{shown}: --backend efdb serves EFDB bytes in place; --load a .efdb file"
+            ));
+        }
+        let snap = EfdbSnapshot::load(raw, catalog).map_err(|e| format!("{shown}: {e}"))?;
+        let keys = snap.len();
+        return Ok(Engine::fixed(Arc::new(snap), keys, "efdb"));
+    }
+    // Snapshot fast path: EFDB sections build the snapshot directly.
+    if backend == BackendKind::Snapshot && is_efdb {
+        let efdb = binfmt::read(&raw).map_err(|e| format!("{shown}: {e}"))?;
+        let snap =
+            Snapshot::from_efdb(&efdb, catalog, shards).map_err(|e| format!("{shown}: {e}"))?;
+        let keys = snap.len();
+        return Ok(Engine::fixed(Arc::new(snap), keys, "snapshot"));
+    }
+    let dict = if is_efdb {
+        binfmt::read_dictionary(&raw, catalog).map_err(|e| format!("{shown}: {e}"))?
+    } else {
+        let text = std::str::from_utf8(&raw).map_err(|e| format!("{shown}: {e}"))?;
+        serialize::from_json(text, catalog).map_err(|e| format!("{shown}: {e}"))?
+    };
+    let keys = dict.len();
+    Ok(match backend {
+        BackendKind::Snapshot => {
+            Engine::fixed(Arc::new(Snapshot::freeze(&dict, shards)), keys, "snapshot")
+        }
+        BackendKind::Sharded => Engine::fixed(
+            Arc::new(ShardedDictionary::from_parts(dict.to_parts(), shards)),
+            keys,
+            "sharded",
+        ),
+        BackendKind::Combo => {
+            let combo = efd_core::multi::ComboDictionary::from_single_metric(&dict)
+                .ok_or_else(|| {
+                    format!("{shown}: --backend combo needs a non-empty single-metric dictionary")
+                })?;
+            let keys = combo.len();
+            Engine::fixed(Arc::new(ComboSnapshot::freeze(combo)), keys, "combo")
+        }
+        BackendKind::Efdb => unreachable!("handled above"),
+    })
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker-thread count (min 1).
+    pub workers: usize,
+    /// Drop a connection after this much continuous quiet.
+    pub idle_timeout: Duration,
+    /// Shard fan-out for snapshots built on reload.
+    pub shards: usize,
+    /// Backend built by `SWAP`/SIGHUP reloads.
+    pub backend: BackendKind,
+    /// Metric-name resolution for requests.
+    pub catalog: MetricCatalog,
+    /// Path reloaded by SIGHUP and a bare `SWAP` (normally the daemon's
+    /// `--load` argument).
+    pub reload_path: Option<PathBuf>,
+}
+
+impl ServerConfig {
+    /// Defaults: 4 workers, 30 s idle timeout, 8 shards, snapshot
+    /// backend, no reload path.
+    pub fn new(catalog: MetricCatalog) -> Self {
+        ServerConfig {
+            workers: 4,
+            idle_timeout: Duration::from_secs(30),
+            shards: 8,
+            backend: BackendKind::Snapshot,
+            catalog,
+            reload_path: None,
+        }
+    }
+}
+
+/// One published engine generation.
+struct Published {
+    gen: u64,
+    engine: Engine,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    published: RwLock<Arc<Published>>,
+    metrics: DaemonMetrics,
+    shutdown: AtomicBool,
+    hup: Arc<AtomicBool>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+}
+
+impl Shared {
+    fn current(&self) -> Arc<Published> {
+        self.published.read().expect("published lock").clone()
+    }
+
+    fn publish(&self, engine: Engine) -> u64 {
+        let mut w = self.published.write().expect("published lock");
+        let gen = w.gen + 1;
+        *w = Arc::new(Published { gen, engine });
+        self.metrics.generation.set(gen as i64);
+        self.metrics.swaps_total.inc();
+        gen
+    }
+
+    fn reload(&self) -> Result<u64, String> {
+        let path = self
+            .cfg
+            .reload_path
+            .as_ref()
+            .ok_or("no reload path configured")?;
+        if self.current().engine.learner.is_some() {
+            return Err("durable mode learns in place; reload does not apply".into());
+        }
+        let engine = load_engine(path, self.cfg.backend, &self.cfg.catalog, self.cfg.shards)?;
+        Ok(self.publish(engine))
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+}
+
+/// Totals reported when the daemon exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered over the daemon's lifetime.
+    pub requests: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: u64,
+}
+
+/// A running recognition daemon. Dropping the handle does **not** stop
+/// the daemon — call [`Server::shutdown`] then [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port), publish
+    /// the initial engine as generation 1, and start the acceptor and
+    /// worker threads.
+    pub fn start(addr: &str, cfg: ServerConfig, engine: Engine) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| format!("{addr}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("{addr}: {e}"))?;
+        let metrics = DaemonMetrics::new();
+        metrics.generation.set(1);
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            published: RwLock::new(Arc::new(Published { gen: 1, engine })),
+            metrics,
+            shutdown: AtomicBool::new(false),
+            hup: Arc::new(AtomicBool::new(false)),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        let s = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name("efd-accept".into())
+                .spawn(move || accept_loop(&s, listener))
+                .map_err(|e| format!("spawn acceptor: {e}"))?,
+        );
+        for i in 0..workers {
+            let s = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("efd-worker-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .map_err(|e| format!("spawn worker: {e}"))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            addr: local,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The flag a SIGHUP handler sets to request a reload; the acceptor
+    /// polls and clears it.
+    pub fn hup_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shared.hup)
+    }
+
+    /// The daemon's metric surface (tests read gauges directly).
+    pub fn metrics(&self) -> &DaemonMetrics {
+        &self.shared.metrics
+    }
+
+    /// Render the Prometheus exposition (same text `/metrics` serves).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render()
+    }
+
+    /// Current published engine generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.current().gen
+    }
+
+    /// Atomically republish a new engine; returns its generation.
+    pub fn publish(&self, engine: Engine) -> u64 {
+        self.shared.publish(engine)
+    }
+
+    /// Reload the configured path (what SIGHUP does, synchronously).
+    pub fn reload(&self) -> Result<u64, String> {
+        self.shared.reload()
+    }
+
+    /// Signal shutdown: stop accepting, let workers finish their
+    /// current connection, then exit. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.stop();
+    }
+
+    /// True until shutdown has been signalled.
+    pub fn running(&self) -> bool {
+        !self.shared.stopping()
+    }
+
+    /// Block until every daemon thread has exited.
+    pub fn join(self) -> ServeSummary {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        ServeSummary {
+            requests: self.shared.metrics.requests_total(),
+            connections: self.shared.metrics.connections_total.get(),
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    while !shared.stopping() {
+        if shared.hup.swap(false, Ordering::SeqCst) {
+            match shared.reload() {
+                Ok(gen) => eprintln!("reloaded: generation {gen}"),
+                Err(e) => eprintln!("warning: reload failed: {e}"),
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.connections_total.inc();
+                let mut q = shared.queue.lock().expect("queue lock");
+                q.push_back(stream);
+                shared.metrics.queue_depth.set(q.len() as i64);
+                drop(q);
+                shared.queue_cv.notify_one();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
+            // Transient accept errors (EMFILE, aborted handshake):
+            // back off and keep serving.
+            Err(_) => thread::sleep(ACCEPT_TICK),
+        }
+    }
+    shared.queue_cv.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = VoteScratch::default();
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(s) = q.pop_front() {
+                    shared.metrics.queue_depth.set(q.len() as i64);
+                    break Some(s);
+                }
+                if shared.stopping() {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .queue_cv
+                    .wait_timeout(q, READ_TICK)
+                    .expect("queue lock");
+                q = guard;
+            }
+        };
+        let Some(stream) = conn else { return };
+        shared.metrics.active_connections.add(1);
+        let _ = handle_conn(shared, stream, &mut scratch);
+        shared.metrics.active_connections.add(-1);
+    }
+}
+
+/// Serve one connection to completion (sniffs frame protocol vs HTTP).
+/// The sniffed bytes are consumed here and replayed into the winning
+/// handler.
+fn handle_conn(shared: &Shared, mut stream: TcpStream, scratch: &mut VoteScratch) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TICK))?;
+    let mut first = [0u8; 4];
+    let mut got = 0;
+    let mut idle = Duration::ZERO;
+    while got < 4 {
+        if shared.stopping() {
+            return Ok(());
+        }
+        match stream.read(&mut first[got..]) {
+            Ok(0) => {
+                // Closed before a full sniff window: silent if no byte
+                // ever arrived, torn if the prefix was cut short.
+                if got > 0 {
+                    shared.metrics.count_error("torn");
+                }
+                return Ok(());
+            }
+            Ok(n) => {
+                got += n;
+                idle = Duration::ZERO;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                idle += READ_TICK;
+                if idle >= shared.cfg.idle_timeout {
+                    shared.metrics.count_error("idle-timeout");
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if &first == b"GET " || &first == b"HEAD" {
+        return handle_http(shared, stream, &first);
+    }
+    frame_loop(shared, stream, scratch, idle, first)
+}
+
+/// Per-connection streaming state: one open [`OnlineSession`] plus the
+/// generation and wall-clock instant it was opened against.
+struct StreamState {
+    sess: OnlineSession<dyn Recognize + Send + Sync>,
+    metric: MetricId,
+    gen: u64,
+    opened: Instant,
+}
+
+enum Action {
+    Continue,
+    ShutdownDaemon,
+}
+
+struct Reply {
+    text: String,
+    action: Action,
+}
+
+fn reply(text: String) -> Reply {
+    Reply {
+        text,
+        action: Action::Continue,
+    }
+}
+
+fn frame_loop(
+    shared: &Shared,
+    stream: TcpStream,
+    scratch: &mut VoteScratch,
+    mut idle: Duration,
+    sniffed: [u8; 4],
+) -> io::Result<()> {
+    let mut reader = FrameReader::new();
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    // Replay the sniffed bytes (the first frame's length prefix) ahead
+    // of the live stream.
+    let mut src = io::Cursor::new(sniffed).chain(stream);
+    let mut session: Option<StreamState> = None;
+    loop {
+        if shared.stopping() {
+            return Ok(());
+        }
+        let started;
+        let out = match reader.read_frame(&mut src) {
+            Ok(None) => return Ok(()), // clean close at a frame boundary
+            Ok(Some(payload)) => {
+                idle = Duration::ZERO;
+                started = Instant::now();
+                dispatch(shared, payload, &mut session, scratch)
+            }
+            Err(FrameError::Timeout) => {
+                idle += READ_TICK;
+                if idle >= shared.cfg.idle_timeout {
+                    shared.metrics.count_error("idle-timeout");
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(FrameError::Torn) => {
+                shared.metrics.count_error("torn");
+                return Ok(());
+            }
+            Err(FrameError::Oversized(n)) => {
+                shared.metrics.count_error("oversized");
+                // Best-effort structured refusal; the peer may already
+                // be gone, and we drop the connection either way (the
+                // stream position is unrecoverable).
+                let msg = format!("ERR oversized frame length {n} exceeds {MAX_FRAME} bytes");
+                let _ = write_frame(&mut writer, msg.as_bytes()).and_then(|_| writer.flush());
+                return Ok(());
+            }
+            Err(FrameError::Empty) => {
+                shared.metrics.count_error("empty");
+                let _ = write_frame(&mut writer, b"ERR empty zero-length frame")
+                    .and_then(|_| writer.flush());
+                return Ok(());
+            }
+            Err(FrameError::Io(_)) => return Ok(()), // reset/broken pipe: clean drop
+        };
+        write_frame(&mut writer, out.text.as_bytes())?;
+        writer.flush()?;
+        shared.metrics.request_duration.observe_duration(started.elapsed());
+        match out.action {
+            Action::Continue => {}
+            Action::ShutdownDaemon => {
+                shared.stop();
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Answer one request. Infallible by construction: every failure mode
+/// is a structured `ERR <kind> <message>` response.
+fn dispatch(
+    shared: &Shared,
+    payload: &[u8],
+    session: &mut Option<StreamState>,
+    scratch: &mut VoteScratch,
+) -> Reply {
+    let line = match std::str::from_utf8(payload) {
+        Ok(l) => l,
+        Err(_) => {
+            shared.metrics.count_error("malformed");
+            return reply("ERR malformed payload is not UTF-8".into());
+        }
+    };
+    let req = match Request::parse(line) {
+        Ok(r) => r,
+        Err(why) => {
+            shared.metrics.count_error("malformed");
+            return reply(format!("ERR malformed {why}"));
+        }
+    };
+    shared.metrics.count_request(req.command());
+    match req {
+        Request::Ping => reply("PONG".into()),
+        Request::Recognize {
+            metric,
+            start,
+            end,
+            means,
+        } => {
+            let Some(m) = shared.cfg.catalog.id(&metric) else {
+                return unknown_metric(shared, &metric);
+            };
+            let q = Query::from_node_means(m, Interval::new(start, end), &means);
+            let p = shared.current();
+            let rec = p.engine.recognizer.recognize_into(&q, scratch).normalized();
+            shared.metrics.count_verdict(verdict_label(&rec));
+            reply(render_answer("OK", p.gen, &rec))
+        }
+        Request::Stream {
+            metric,
+            nodes,
+            start,
+            end,
+        } => {
+            if session.is_some() {
+                shared.metrics.count_error("bad-state");
+                return reply("ERR bad-state a stream is already open on this connection".into());
+            }
+            if nodes > MAX_STREAM_NODES {
+                shared.metrics.count_error("malformed");
+                return reply(format!(
+                    "ERR malformed STREAM nodes {nodes} exceeds the {MAX_STREAM_NODES} cap"
+                ));
+            }
+            let Some(m) = shared.cfg.catalog.id(&metric) else {
+                return unknown_metric(shared, &metric);
+            };
+            let p = shared.current();
+            let node_ids: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+            let sess = OnlineSession::new(
+                Arc::clone(&p.engine.recognizer),
+                &[m],
+                &node_ids,
+                vec![Interval::new(start, end)],
+            );
+            let horizon = sess.horizon_s();
+            *session = Some(StreamState {
+                sess,
+                metric: m,
+                gen: p.gen,
+                opened: Instant::now(),
+            });
+            reply(format!("OPENED {} {horizon}", p.gen))
+        }
+        Request::Push { node, t, value } => {
+            let Some(st) = session.as_mut() else {
+                shared.metrics.count_error("bad-state");
+                return reply("ERR bad-state no open stream (send STREAM first)".into());
+            };
+            follow_swap(shared, st);
+            match st.sess.push(NodeId(node), st.metric, t, value) {
+                Some(rec) => {
+                    let rec = rec.normalized();
+                    let st = session.take().expect("checked above");
+                    stream_verdict(shared, &st, &rec)
+                }
+                None => reply(format!("ACK {}", st.sess.collected())),
+            }
+        }
+        Request::Finish => {
+            let Some(mut st) = session.take() else {
+                shared.metrics.count_error("bad-state");
+                return reply("ERR bad-state no open stream to finish".into());
+            };
+            follow_swap(shared, &mut st);
+            let rec = st.sess.finish().normalized();
+            stream_verdict(shared, &st, &rec)
+        }
+        Request::Learn {
+            app,
+            input,
+            metric,
+            start,
+            end,
+            means,
+        } => {
+            let p = shared.current();
+            let Some(learner) = p.engine.learner.as_ref() else {
+                shared.metrics.count_error("read-only");
+                return reply(
+                    "ERR read-only this daemon serves an immutable snapshot \
+                     (start with --wal to accept LEARN)"
+                        .into(),
+                );
+            };
+            let Some(m) = shared.cfg.catalog.id(&metric) else {
+                return unknown_metric(shared, &metric);
+            };
+            let obs = LabeledObservation {
+                label: AppLabel::new(&app, &input),
+                query: Query::from_node_means(m, Interval::new(start, end), &means),
+            };
+            match learner.learn(&obs) {
+                Ok(()) => reply(format!("LEARNED {}", learner.dictionary().len())),
+                Err(e) => reply(format!("ERR io {e}")),
+            }
+        }
+        Request::Swap { path } => {
+            if shared.current().engine.learner.is_some() {
+                shared.metrics.count_error("bad-state");
+                return reply(
+                    "ERR bad-state durable mode learns in place; SWAP applies to \
+                     file-backed engines"
+                        .into(),
+                );
+            }
+            let outcome = if path.is_empty() {
+                shared.reload()
+            } else {
+                load_engine(
+                    Path::new(&path),
+                    shared.cfg.backend,
+                    &shared.cfg.catalog,
+                    shared.cfg.shards,
+                )
+                .map(|engine| shared.publish(engine))
+            };
+            match outcome {
+                Ok(gen) => {
+                    let keys = shared.current().engine.keys;
+                    reply(format!("SWAPPED {gen} {keys}"))
+                }
+                Err(e) => reply(format!("ERR swap-failed {e}")),
+            }
+        }
+        Request::Stats => {
+            let p = shared.current();
+            reply(format!(
+                "STATS gen={} keys={} backend={} connections={} requests={}",
+                p.gen,
+                p.engine.keys_now(),
+                p.engine.kind,
+                shared.metrics.connections_total.get(),
+                shared.metrics.requests_total(),
+            ))
+        }
+        Request::Shutdown => Reply {
+            text: "BYE".into(),
+            action: Action::ShutdownDaemon,
+        },
+    }
+}
+
+fn unknown_metric(shared: &Shared, metric: &str) -> Reply {
+    shared.metrics.count_error("unknown-metric");
+    reply(format!("ERR unknown-metric {metric:?} is not in the catalog"))
+}
+
+/// Re-point an open stream at the latest publication (window means
+/// collected so far are kept — only the dictionary changes).
+fn follow_swap(shared: &Shared, st: &mut StreamState) {
+    let p = shared.current();
+    if p.gen != st.gen {
+        st.sess.swap(Arc::clone(&p.engine.recognizer));
+        st.gen = p.gen;
+    }
+}
+
+fn stream_verdict(shared: &Shared, st: &StreamState, rec: &efd_core::Recognition) -> Reply {
+    shared
+        .metrics
+        .time_to_first_verdict
+        .observe_duration(st.opened.elapsed());
+    shared.metrics.count_verdict(verdict_label(rec));
+    reply(render_answer("VERDICT", st.gen, rec))
+}
+
+/// Minimal HTTP/1.1: `GET /metrics` (Prometheus text), `GET /healthz`.
+/// One request per connection (`Connection: close`).
+fn handle_http(shared: &Shared, mut stream: TcpStream, sniffed: &[u8; 4]) -> io::Result<()> {
+    let mut head = sniffed.to_vec();
+    let mut buf = [0u8; 1024];
+    let mut idle = Duration::ZERO;
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > MAX_HTTP_HEAD {
+            break;
+        }
+        if shared.stopping() {
+            return Ok(());
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                idle = Duration::ZERO;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                idle += READ_TICK;
+                if idle >= shared.cfg.idle_timeout {
+                    shared.metrics.count_error("idle-timeout");
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Ok(()),
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let line = text.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = match (method, path) {
+        ("GET", "/metrics") | ("HEAD", "/metrics") => {
+            shared.metrics.scrapes_total.inc();
+            ("200 OK", shared.metrics.render())
+        }
+        ("GET", "/healthz") | ("HEAD", "/healthz") => ("200 OK", "ok\n".to_string()),
+        _ => ("404 Not Found", "not found\n".to_string()),
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    if method != "HEAD" {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()
+}

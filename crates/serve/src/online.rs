@@ -10,6 +10,12 @@
 //! threads) and can [`OnlineSession::swap`] to a newer publication
 //! mid-stream — the verdict then reflects the latest learned state.
 //!
+//! The session is generic over its engine: the default `Arc<Snapshot>`
+//! form is unchanged, but any [`Recognize`] backend works — including
+//! `Arc<dyn Recognize + Send + Sync>`, which is how the network daemon
+//! keeps one per-connection session per streaming client regardless of
+//! which backend `--backend` selected.
+//!
 //! Same memory contract as the core recognizer: no raw series are
 //! buffered, memory is O(nodes × metrics).
 
@@ -29,17 +35,21 @@ use crate::snapshot::Snapshot;
 /// Feed samples as they arrive; the session emits its verdict exactly
 /// once, the moment the last fingerprint window closes (the paper's
 /// "within the first two minutes, while the job is still running").
+///
+/// Generic over the published engine `R` (default [`Snapshot`]); use
+/// `OnlineSession<dyn Recognize + Send + Sync>` to stream against a
+/// runtime-selected backend.
 #[derive(Debug, Clone)]
-pub struct OnlineSession {
-    snapshot: Arc<Snapshot>,
+pub struct OnlineSession<R: Recognize + ?Sized = Snapshot> {
     intervals: Vec<Interval>,
     aggs: FxHashMap<(NodeId, MetricId), MultiWindowAggregator>,
     points: Vec<ObsPoint>,
     expected_summaries: usize,
     emitted: bool,
+    snapshot: Arc<R>,
 }
 
-impl OnlineSession {
+impl<R: Recognize + ?Sized> OnlineSession<R> {
     /// Set up streams for `nodes × metrics`, fingerprinting `intervals`,
     /// against a published snapshot.
     ///
@@ -47,7 +57,7 @@ impl OnlineSession {
     ///
     /// Panics if `intervals` is empty.
     pub fn new(
-        snapshot: Arc<Snapshot>,
+        snapshot: Arc<R>,
         metrics: &[MetricId],
         nodes: &[NodeId],
         intervals: Vec<Interval>,
@@ -76,13 +86,13 @@ impl OnlineSession {
     }
 
     /// The snapshot verdicts are currently computed against.
-    pub fn snapshot(&self) -> &Arc<Snapshot> {
+    pub fn snapshot(&self) -> &Arc<R> {
         &self.snapshot
     }
 
     /// Point the session at a newer publication. Window means collected so
     /// far are kept — only the dictionary behind the verdict changes.
-    pub fn swap(&mut self, snapshot: Arc<Snapshot>) {
+    pub fn swap(&mut self, snapshot: Arc<R>) {
         self.snapshot = snapshot;
     }
 
@@ -160,7 +170,7 @@ impl OnlineSession {
 /// snapshot its streaming verdict would use), so a session table can be
 /// served through the one engine API alongside every other backend.
 /// Stream state (collected window means) is not consulted — pass a query.
-impl Recognize for OnlineSession {
+impl<R: Recognize + ?Sized> Recognize for OnlineSession<R> {
     fn recognize_into(&self, query: &Query, scratch: &mut VoteScratch) -> Recognition {
         self.snapshot.recognize_into(query, scratch)
     }

@@ -1,0 +1,333 @@
+//! End-to-end daemon tests over real sockets.
+//!
+//! Every test binds `127.0.0.1:0` (ephemeral port), speaks the framed
+//! wire protocol through [`common::Client`], and asserts against the
+//! single-threaded [`EfdDictionary`] oracle — the serving layer's
+//! equivalence contract extended across the network boundary: framing,
+//! worker handoff, and hot swaps must not change answers.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::*;
+use efd_core::wal::WalOptions;
+use efd_core::RoundingDepth;
+use efd_serve::net::protocol::render_answer;
+use efd_serve::net::load_engine;
+use efd_serve::DurableDictionary;
+
+/// The harness corpus: distinct apps, one deliberate ambiguous pair
+/// (`aa`/`bb` at the same level).
+fn corpus() -> Vec<(&'static str, f64)> {
+    vec![
+        ("ft", 6000.0),
+        ("cg", 8110.0),
+        ("mg", 3000.0),
+        ("aa", 7500.0),
+        ("bb", 7500.0),
+    ]
+}
+
+/// A query mix hitting every verdict kind: exact levels, a level inside
+/// the rounding bucket, the ambiguous pair, a miss, and a split vote.
+fn query_mix() -> Vec<[f64; 2]> {
+    vec![
+        [6000.0, 6000.0],
+        [6010.0, 6000.0],
+        [8110.0, 8110.0],
+        [3000.0, 3000.0],
+        [7500.0, 7500.0],
+        [1234.5, 999.0],
+        [6000.0, 8110.0],
+    ]
+}
+
+#[test]
+fn concurrent_clients_match_the_single_threaded_oracle_on_every_backend() {
+    let dict = dict_with(&corpus());
+    // Expected responses come from the core oracle, normalized — the
+    // exact bytes every backend must put on the wire at generation 1.
+    let expected: Vec<(String, String)> = query_mix()
+        .iter()
+        .map(|means| {
+            let rec = dict.recognize(&query(means)).normalized();
+            (recognize_line(means), render_answer("OK", 1, &rec))
+        })
+        .collect();
+
+    for engine in engines_for(&dict) {
+        let kind = engine.kind;
+        let server = start_server(engine, |cfg| cfg.workers = 4);
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    for i in 0..25 * expected.len() {
+                        let (line, want) = &expected[(i + t) % expected.len()];
+                        let got = client.request(line);
+                        assert_eq!(&got, want, "backend {kind}, request {line:?}");
+                    }
+                });
+            }
+        });
+        server.shutdown();
+        let summary = server.join();
+        assert_eq!(
+            summary.requests,
+            4 * 25 * expected.len() as u64,
+            "backend {kind} must answer every request"
+        );
+    }
+}
+
+#[test]
+fn streaming_session_emits_the_oracle_verdict_when_windows_close() {
+    let dict = dict_with(&corpus());
+    let server = start_server(snapshot_engine(&dict), |_| {});
+    let mut client = Client::connect(server.local_addr());
+
+    assert_eq!(
+        client.request(&format!("STREAM {METRIC} 2 {} {}", W.start, W.end)),
+        "OPENED 1 120"
+    );
+    // Constant 6005 on both nodes: the window mean rounds into ft's
+    // fingerprint bucket. The verdict must arrive exactly once, on the
+    // push that closes the last node's window.
+    let mut verdicts = Vec::new();
+    for t in 0..=120u32 {
+        for node in 0..2u16 {
+            let resp = client.request(&format!("PUSH {node} {t} 6005"));
+            if let Some(v) = resp.strip_prefix("VERDICT ") {
+                verdicts.push((t, node, v.to_string()));
+            } else {
+                assert!(resp.starts_with("ACK "), "unexpected response {resp:?}");
+            }
+        }
+    }
+    assert_eq!(verdicts.len(), 1, "verdict must be emitted exactly once");
+    let (t, node, tail) = &verdicts[0];
+    assert_eq!((*t, *node), (120, 1), "emitted when the last window closes");
+    assert_eq!(tail, "1 2 2 recognized ft");
+    // The session is consumed by its verdict.
+    assert!(client.request("PUSH 0 121 6005").starts_with("ERR bad-state"));
+
+    // Early FINISH flushes open windows and forces the verdict.
+    let mut early = Client::connect(server.local_addr());
+    early.request(&format!("STREAM {METRIC} 2 {} {}", W.start, W.end));
+    for t in 60..=80u32 {
+        for node in 0..2u16 {
+            assert!(early.request(&format!("PUSH {node} {t} 6005")).starts_with("ACK "));
+        }
+    }
+    assert_eq!(early.request("FINISH"), "VERDICT 1 2 2 recognized ft");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn metrics_scrape_reports_exact_counters_for_a_known_mix() {
+    let dict = dict_with(&corpus());
+    let server = start_server(snapshot_engine(&dict), |_| {});
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+
+    for _ in 0..3 {
+        assert_eq!(client.request("PING"), "PONG");
+    }
+    for _ in 0..4 {
+        assert!(client.request(&recognize_line(&[6000.0, 6000.0])).contains("recognized"));
+    }
+    for _ in 0..2 {
+        assert!(client.request(&recognize_line(&[111.0, 222.0])).contains("unknown"));
+    }
+    assert!(client.request(&recognize_line(&[7500.0, 7500.0])).contains("ambiguous"));
+    assert!(client.request("STATS").starts_with("STATS "));
+    assert!(client.request("BOGUS nonsense").starts_with("ERR malformed"));
+
+    let (status, body) = http_get(addr, "/metrics");
+    assert!(status.contains("200"), "bad scrape status {status:?}");
+    // 12 dispatched frames (3 + 7 + 1 + 1): every one is counted in the
+    // duration histogram; only parsed requests hit the command counters.
+    for needle in [
+        "efd_requests_total{command=\"ping\"} 3",
+        "efd_requests_total{command=\"recognize\"} 7",
+        "efd_requests_total{command=\"stats\"} 1",
+        "efd_requests_total{command=\"shutdown\"} 0",
+        "efd_verdicts_total{verdict=\"recognized\"} 4",
+        "efd_verdicts_total{verdict=\"unknown\"} 2",
+        "efd_verdicts_total{verdict=\"ambiguous\"} 1",
+        "efd_protocol_errors_total{kind=\"malformed\"} 1",
+        "efd_protocol_errors_total{kind=\"torn\"} 0",
+        "efd_request_duration_seconds_count 12",
+        "efd_request_duration_seconds_bucket{le=\"+Inf\"} 12",
+        "efd_snapshot_generation 1",
+        "efd_snapshot_swaps_total 0",
+        "efd_connections_total 2",
+        "efd_scrapes_total 1",
+    ] {
+        assert!(body.contains(needle), "missing {needle:?} in scrape:\n{body}");
+    }
+
+    // A second scrape sees itself counted.
+    let (_, body) = http_get(addr, "/metrics");
+    assert!(body.contains("efd_scrapes_total 2"));
+    let (status, body) = http_get(addr, "/healthz");
+    assert!(status.contains("200"));
+    assert_eq!(body, "ok\n");
+    let (status, _) = http_get(addr, "/nope");
+    assert!(status.contains("404"));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn hot_swap_under_sustained_load_drops_nothing_and_never_tears() {
+    // Generation 1 does not know `new`; generation 2 does. Every
+    // response under concurrent load must be exactly one of the two
+    // oracle answers, tagged with the generation it came from, and a
+    // connection must never step back to an older generation.
+    let dict_a = dict_with(&[("old", 5000.0)]);
+    let dict_b = dict_with(&[("old", 5000.0), ("new", 7000.0)]);
+    let line = recognize_line(&[7000.0, 7000.0]);
+    let want1 = render_answer("OK", 1, &dict_a.recognize(&query(&[7000.0, 7000.0])).normalized());
+    let want2 = render_answer("OK", 2, &dict_b.recognize(&query(&[7000.0, 7000.0])).normalized());
+    assert!(want1.ends_with("unknown"));
+    assert!(want2.ends_with("recognized new"));
+
+    let server = start_server(snapshot_engine(&dict_a), |cfg| cfg.workers = 4);
+    let addr = server.local_addr();
+    // Pin down generation 1 before any load.
+    assert_eq!(Client::connect(addr).request(&line), want1);
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let (line, want1, want2) = (&line, &want1, &want2);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut seen_gen2 = false;
+                    let mut answered = 0u64;
+                    for _ in 0..5_000 {
+                        let got = client.request(line);
+                        answered += 1;
+                        if &got == want2 {
+                            seen_gen2 = true;
+                        } else {
+                            assert_eq!(&got, want1, "answer from neither publication");
+                            assert!(!seen_gen2, "generation went backwards on one connection");
+                        }
+                        if seen_gen2 && answered > 100 {
+                            break;
+                        }
+                    }
+                    assert!(seen_gen2, "never observed the new publication");
+                    answered
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(server.publish(snapshot_engine(&dict_b)), 2);
+        let total: u64 = workers.into_iter().map(|h| h.join().expect("load thread")).sum();
+        assert!(total > 0);
+    });
+
+    assert_eq!(server.generation(), 2);
+    assert!(server.metrics_text().contains("efd_snapshot_swaps_total 1"));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn swap_command_and_hup_flag_republish_from_dictionary_files() {
+    let dir = scratch_dir("swap");
+    let dict_a = dict_with(&[("old", 5000.0)]);
+    let dict_b = dict_with(&[("old", 5000.0), ("new", 7000.0)]);
+    let path_a = write_efdb(&dir, "a.efdb", &dict_a);
+    let path_b = write_efdb(&dir, "b.efdb", &dict_b);
+
+    let engine = load_engine(&path_a, efd_serve::net::BackendKind::Snapshot, &catalog(), 4)
+        .expect("load initial engine");
+    let path_a_cfg = path_a.clone();
+    let server = start_server(engine, move |cfg| cfg.reload_path = Some(path_a_cfg));
+    let mut client = Client::connect(server.local_addr());
+    let line = recognize_line(&[7000.0, 7000.0]);
+
+    assert_eq!(client.request(&line), "OK 1 0 2 unknown");
+    // Explicit-path SWAP republishes b.efdb as generation 2.
+    assert_eq!(
+        client.request(&format!("SWAP {}", path_b.display())),
+        format!("SWAPPED 2 {}", dict_b.len())
+    );
+    assert_eq!(client.request(&line), "OK 2 2 2 recognized new");
+    // A failed swap is a structured error and keeps the generation.
+    let resp = client.request(&format!("SWAP {}", dir.join("missing.efdb").display()));
+    assert!(resp.starts_with("ERR swap-failed"), "got {resp:?}");
+    assert_eq!(server.generation(), 2);
+    // The SIGHUP flag reloads the configured path (back to dict A).
+    server.hup_flag().store(true, std::sync::atomic::Ordering::SeqCst);
+    wait_until("SIGHUP reload", || server.generation() == 3);
+    assert_eq!(client.request(&line), "OK 3 0 2 unknown");
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_daemon_learns_over_the_wire_and_refuses_swaps() {
+    let dir = scratch_dir("wal");
+    let (durable, recovery) = DurableDictionary::open(
+        &dir,
+        RoundingDepth::new(2),
+        4,
+        &catalog(),
+        WalOptions::default(),
+    )
+    .expect("open WAL dir");
+    assert_eq!(recovery.replayed, 0, "fresh WAL dir has nothing to replay");
+    let server = start_server(efd_serve::net::Engine::durable(Arc::new(durable)), |_| {});
+    let mut client = Client::connect(server.local_addr());
+    let line = recognize_line(&[6000.0, 6000.0]);
+
+    assert_eq!(client.request(&line), "OK 1 0 2 unknown");
+    assert_eq!(
+        client.request(&format!(
+            "LEARN ft X {METRIC} {} {} 6000 6000",
+            W.start, W.end
+        )),
+        "LEARNED 2"
+    );
+    // Learns are visible immediately, in place: same generation.
+    assert_eq!(client.request(&line), "OK 1 2 2 recognized ft");
+    assert!(client.request("SWAP").starts_with("ERR bad-state"));
+    assert!(client
+        .request("STATS")
+        .starts_with("STATS gen=1 keys=2 backend=durable"));
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_command_stops_the_daemon_and_frees_the_port() {
+    let dict = dict_with(&corpus());
+    let server = start_server(snapshot_engine(&dict), |_| {});
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+    assert!(client
+        .request("STATS")
+        .starts_with(&format!("STATS gen=1 keys={} backend=snapshot", dict.len())));
+    assert_eq!(client.request("SHUTDOWN"), "BYE");
+    let summary = server.join();
+    assert!(summary.requests >= 2);
+    assert!(summary.connections >= 1);
+    // The listener is gone: a fresh connect must be refused.
+    assert!(std::net::TcpStream::connect(addr).is_err());
+}

@@ -1,0 +1,232 @@
+//! Adversarial wire-protocol tests: torn and truncated frames,
+//! oversized length prefixes, malformed payloads, bad command
+//! sequences, abrupt mid-stream disconnects, and a slow-loris idle
+//! client. The daemon's contract under all of them: a structured
+//! `ERR <kind> <message>` response or a clean connection drop, the
+//! matching `efd_protocol_errors_total{kind=...}` increment — and
+//! never a panic, a wedged worker, or a hung test.
+//!
+//! Worker health is proven the strict way: most tests run a
+//! **single-worker** daemon, so if a malformed connection could wedge
+//! its worker, the follow-up well-formed connection would hang and the
+//! harness's 10 s receive deadline would fail the test.
+
+mod common;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use common::*;
+use efd_serve::net::{Server, MAX_FRAME};
+
+/// A one-worker daemon over the harness corpus — the strictest setting
+/// for proving workers survive and recover from bad peers.
+fn one_worker_server(tweak: impl FnOnce(&mut efd_serve::net::ServerConfig)) -> Server {
+    let dict = dict_with(&[("ft", 6000.0)]);
+    start_server(snapshot_engine(&dict), |cfg| {
+        cfg.workers = 1;
+        tweak(cfg);
+    })
+}
+
+/// Count of one error kind as currently exported by the daemon.
+fn error_count(server: &Server, kind: &str) -> u64 {
+    let needle = format!("efd_protocol_errors_total{{kind=\"{kind}\"}} ");
+    server
+        .metrics_text()
+        .lines()
+        .find_map(|l| l.strip_prefix(&needle).and_then(|v| v.parse().ok()))
+        .unwrap_or(0)
+}
+
+/// Prove the (single) worker is free and sane by completing a
+/// well-formed request on a fresh connection.
+fn assert_daemon_healthy(server: &Server) {
+    let mut probe = Client::connect(server.local_addr());
+    assert_eq!(probe.request("PING"), "PONG");
+}
+
+#[test]
+fn torn_length_prefix_is_counted_and_dropped_cleanly() {
+    let server = one_worker_server(|_| {});
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(&[42u8, 0]).expect("2 of 4 prefix bytes");
+    drop(stream); // close mid-prefix
+    wait_until("torn-prefix count", || error_count(&server, "torn") == 1);
+    assert_daemon_healthy(&server);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn truncated_payload_is_counted_and_dropped_cleanly() {
+    let server = one_worker_server(|_| {});
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // Promise 100 payload bytes, deliver 4, vanish.
+    stream.write_all(&100u32.to_le_bytes()).expect("prefix");
+    stream.write_all(b"PING").expect("partial payload");
+    drop(stream);
+    wait_until("torn-payload count", || error_count(&server, "torn") == 1);
+    assert_daemon_healthy(&server);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_prefix_gets_a_structured_refusal_then_the_connection_drops() {
+    let server = one_worker_server(|_| {});
+    let mut client = Client::connect(server.local_addr());
+    client
+        .stream
+        .write_all(&(MAX_FRAME + 1).to_le_bytes())
+        .expect("oversized prefix");
+    let resp = client.recv_or_close().expect("structured refusal before the drop");
+    assert!(
+        resp.starts_with("ERR oversized"),
+        "expected ERR oversized, got {resp:?}"
+    );
+    assert!(client.recv_or_close().is_none(), "connection must drop after refusal");
+    assert_eq!(error_count(&server, "oversized"), 1);
+    assert_daemon_healthy(&server);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn zero_length_frame_gets_a_structured_refusal_then_the_connection_drops() {
+    let server = one_worker_server(|_| {});
+    let mut client = Client::connect(server.local_addr());
+    client.stream.write_all(&0u32.to_le_bytes()).expect("empty prefix");
+    let resp = client.recv_or_close().expect("structured refusal before the drop");
+    assert!(resp.starts_with("ERR empty"), "got {resp:?}");
+    assert!(client.recv_or_close().is_none(), "connection must drop after refusal");
+    assert_eq!(error_count(&server, "empty"), 1);
+    assert_daemon_healthy(&server);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn malformed_payloads_answer_err_and_keep_the_connection_alive() {
+    let server = one_worker_server(|_| {});
+    let mut client = Client::connect(server.local_addr());
+    let cases: Vec<String> = vec![
+        "NOPE".into(),
+        "PING trailing-garbage".into(),
+        "RECOGNIZE".into(),                       // missing everything
+        format!("RECOGNIZE {METRIC} 120 60 1.0"), // inverted window
+        format!("RECOGNIZE {METRIC} 60 120"),     // no means
+        format!("RECOGNIZE {METRIC} 60 120 NaN"),
+        "STREAM".into(),
+        format!("STREAM {METRIC} 0 60 120"),    // zero nodes
+        format!("STREAM {METRIC} 9999 60 120"), // above the node cap
+        "PUSH 1 2".into(),
+        "PUSH 1 2 inf".into(),
+        "LEARN app X m 60 120".into(), // no means
+    ];
+    for bad in &cases {
+        let resp = client.request(bad);
+        assert!(resp.starts_with("ERR malformed"), "{bad:?} answered {resp:?}");
+        // Same connection keeps working after every rejection.
+        assert_eq!(client.request("PING"), "PONG");
+    }
+    // A frame that is not UTF-8 at all.
+    client.stream.write_all(&3u32.to_le_bytes()).expect("prefix");
+    client.stream.write_all(&[0xFF, 0xFE, 0xFD]).expect("payload");
+    let resp = client.recv();
+    assert!(resp.starts_with("ERR malformed"), "got {resp:?}");
+    assert_eq!(client.request("PING"), "PONG");
+    assert_eq!(error_count(&server, "malformed"), cases.len() as u64 + 1);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn unknown_metric_and_bad_sequences_are_structured_errors() {
+    let server = one_worker_server(|_| {});
+    let mut client = Client::connect(server.local_addr());
+    let resp = client.request("RECOGNIZE not_a_metric 60 120 1.0 2.0");
+    assert!(resp.starts_with("ERR unknown-metric"), "got {resp:?}");
+    // PUSH and FINISH before STREAM.
+    assert!(client.request("PUSH 0 0 1.0").starts_with("ERR bad-state"));
+    assert!(client.request("FINISH").starts_with("ERR bad-state"));
+    // Double STREAM on one connection.
+    assert!(client
+        .request(&format!("STREAM {METRIC} 1 60 120"))
+        .starts_with("OPENED 1 "));
+    assert!(client
+        .request(&format!("STREAM {METRIC} 1 60 120"))
+        .starts_with("ERR bad-state"));
+    // LEARN against an immutable snapshot daemon.
+    let resp = client.request(&format!("LEARN ft X {METRIC} 60 120 1.0"));
+    assert!(resp.starts_with("ERR read-only"), "got {resp:?}");
+    assert_eq!(error_count(&server, "bad-state"), 3);
+    assert_eq!(error_count(&server, "unknown-metric"), 1);
+    assert_eq!(error_count(&server, "read-only"), 1);
+    drop(client); // free the single worker before probing
+    assert_daemon_healthy(&server);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn mid_stream_disconnect_frees_the_worker_without_a_verdict() {
+    let server = one_worker_server(|_| {});
+    {
+        let mut client = Client::connect(server.local_addr());
+        assert!(client
+            .request(&format!("STREAM {METRIC} 2 60 120"))
+            .starts_with("OPENED "));
+        for t in 60..70u32 {
+            assert!(client.request(&format!("PUSH 0 {t} 6005")).starts_with("ACK "));
+        }
+        // Vanish with the session open and samples buffered.
+    }
+    // The single worker must come back for the next connection, and the
+    // abandoned session must not have produced a verdict.
+    assert_daemon_healthy(&server);
+    assert!(server.metrics_text().contains("efd_verdicts_total{verdict=\"recognized\"} 0"));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn slow_loris_client_is_dropped_at_the_idle_timeout() {
+    let server = one_worker_server(|cfg| cfg.idle_timeout = Duration::from_millis(300));
+    let mut client = Client::connect(server.local_addr());
+    // Dribble two prefix bytes, then go quiet mid-frame.
+    client.stream.write_all(&[9u8, 0]).expect("dribble");
+    wait_until("idle-timeout count", || {
+        error_count(&server, "idle-timeout") == 1
+    });
+    assert!(
+        client.recv_or_close().is_none(),
+        "daemon must close the idle connection"
+    );
+    // The worker is free again for honest clients, and an honest client
+    // that keeps talking is NOT idle-dropped.
+    let mut honest = Client::connect(server.local_addr());
+    for _ in 0..6 {
+        assert_eq!(honest.request("PING"), "PONG");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert_eq!(error_count(&server, "idle-timeout"), 1);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn quiet_connection_with_no_bytes_is_also_idle_dropped() {
+    // Idle accounting must cover the pre-sniff window too (a peer that
+    // connects and never sends a byte).
+    let server = one_worker_server(|cfg| cfg.idle_timeout = Duration::from_millis(300));
+    let mut client = Client::connect(server.local_addr());
+    wait_until("pre-sniff idle-timeout", || {
+        error_count(&server, "idle-timeout") == 1
+    });
+    assert!(client.recv_or_close().is_none());
+    assert_daemon_healthy(&server);
+    server.shutdown();
+    server.join();
+}

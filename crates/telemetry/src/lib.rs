@@ -23,6 +23,9 @@
 //! * [`streaming`] — online window aggregation for during-execution
 //!   recognition (the paper's low-latency motivation).
 //! * [`storage`] — JSON and compact binary (de)serialization of traces.
+//! * [`prom`] — Prometheus text-exposition primitives (counters, gauges,
+//!   explicit-bucket histograms) backing the serving daemon's `/metrics`
+//!   endpoint.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,6 +35,7 @@ pub mod csv;
 pub mod interval;
 pub mod metric;
 pub mod noise;
+pub mod prom;
 pub mod sampler;
 pub mod series;
 pub mod storage;

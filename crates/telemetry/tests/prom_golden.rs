@@ -1,0 +1,99 @@
+//! Golden exposition fixture: the Prometheus text format is a *scrape
+//! contract*, not an implementation detail — dashboards, alert rules,
+//! and the daemon's CI smoke all parse it. This test renders a registry
+//! populated with fully deterministic values and compares byte-for-byte
+//! against a checked-in fixture. Re-bless after an intentional format
+//! change with
+//!
+//! ```sh
+//! EFD_BLESS=1 cargo test -p efd-telemetry --test prom_golden
+//! ```
+
+use efd_telemetry::prom::Registry;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/exposition.prom"
+);
+
+/// A registry shaped like the daemon's, fed a deterministic mix.
+fn golden_registry() -> Registry {
+    let reg = Registry::new();
+    for (command, n) in [("recognize", 7u64), ("ping", 2), ("stats", 1)] {
+        reg.counter(
+            "efd_requests_total",
+            "Requests answered, by protocol command.",
+            &[("command", command)],
+        )
+        .add(n);
+    }
+    for (verdict, n) in [("recognized", 4u64), ("ambiguous", 1), ("unknown", 2)] {
+        reg.counter(
+            "efd_verdicts_total",
+            "Recognition verdicts returned.",
+            &[("verdict", verdict)],
+        )
+        .add(n);
+    }
+    reg.gauge("efd_queue_depth", "Connections awaiting a worker.", &[])
+        .set(3);
+    let lat = reg.histogram(
+        "efd_request_duration_seconds",
+        "End-to-end request latency.",
+        &[],
+        &[0.001, 0.01, 0.1, 1.0],
+    );
+    for v in [0.0005, 0.001, 0.004, 0.05, 2.5] {
+        lat.observe(v);
+    }
+    reg
+}
+
+fn golden_text() -> String {
+    golden_registry().render()
+}
+
+fn fixture_text() -> String {
+    if std::env::var_os("EFD_BLESS").is_some() {
+        std::fs::write(FIXTURE, golden_text()).expect("bless fixture");
+    }
+    std::fs::read_to_string(FIXTURE).expect(
+        "fixture missing — generate with \
+         EFD_BLESS=1 cargo test -p efd-telemetry --test prom_golden",
+    )
+}
+
+#[test]
+fn exposition_matches_the_checked_in_fixture() {
+    assert_eq!(
+        golden_text(),
+        fixture_text(),
+        "Prometheus exposition format changed: if intentional, update \
+         docs/METRICS.md and re-bless the fixture"
+    );
+}
+
+#[test]
+fn fixture_carries_the_structural_landmarks() {
+    // Belt-and-braces over the byte comparison: the properties scrapers
+    // actually rely on, asserted explicitly so a bad bless can't slip a
+    // malformed fixture in.
+    let text = fixture_text();
+    for needle in [
+        "# TYPE efd_requests_total counter",
+        "# TYPE efd_queue_depth gauge",
+        "# TYPE efd_request_duration_seconds histogram",
+        "efd_request_duration_seconds_bucket{le=\"+Inf\"} 5",
+        "efd_request_duration_seconds_count 5",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    // Cumulative bucket counts are monotone.
+    let counts: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with("efd_request_duration_seconds_bucket"))
+        .map(|l| l.rsplit(' ').next().expect("value").parse().expect("count"))
+        .collect();
+    assert_eq!(counts.len(), 5);
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+}
