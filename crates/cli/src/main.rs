@@ -4,6 +4,8 @@
 //! efd table <1|2|3|4>                     regenerate a paper table
 //! efd figure2 [--trees N]                 regenerate Figure 2 (both systems)
 //! efd evaluate --experiment <kind> [--classifier efd|taxonomist|knn|gaussian-nb]
+//! efd evaluate --scenario <name|all>      adversarial & drift matrix (SCENARIO_9.json)
+//!              [--backend <name|all>] [--intensity X] [--seed N] [--out f]
 //! efd screen [--top N]                    per-metric F-scores (Table 3 data)
 //! efd recognize --run <idx>               leave-one-out demo on run <idx>
 //! efd dump --out <path> [--format f]      train on everything, write JSON or EFDB
@@ -38,6 +40,7 @@ use efd_eval::experiments::{run_experiment, EvalOptions, ExperimentKind, Experim
 use efd_eval::report;
 use efd_eval::screening::screen_metrics;
 use efd_ml::taxonomist::TaxonomistConfig;
+use efd_workload::scenario::{build as scenario_build, CleanRuns, ScenarioKind, ScenarioSpec};
 use efd_workload::{Dataset, DatasetSpec, SubsetKind};
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
@@ -182,7 +185,13 @@ fn cmd_figure2(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let kind = experiment_kind(args.flag("experiment").ok_or("need --experiment")?)?;
+    if args.flag("scenario").is_some() {
+        return cmd_evaluate_scenario(args);
+    }
+    let kind = experiment_kind(
+        args.flag("experiment")
+            .ok_or("need --experiment or --scenario")?,
+    )?;
     let d = dataset_from(args)?;
     let opts = EvalOptions::default();
     let metric = headline(&d);
@@ -223,6 +232,229 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     for (variant, f1) in &result.per_variant {
         println!("  {variant:<24} {f1:.3}");
     }
+    Ok(())
+}
+
+/// Default intensity grid for the scenario matrix: the clean baseline
+/// plus quarter steps to full strength.
+const SCENARIO_GRID: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// One scored matrix cell, held until the whole run is serialized.
+struct ScenarioCell {
+    scenario: ScenarioKind,
+    backend: String,
+    intensity: f64,
+    relearn: bool,
+    report: efd_eval::AbstentionReport,
+}
+
+fn scenario_kinds(arg: &str) -> Result<Vec<ScenarioKind>, String> {
+    if arg == "all" {
+        return Ok(ScenarioKind::ALL.to_vec());
+    }
+    arg.split(',')
+        .map(|name| {
+            ScenarioKind::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown scenario {name:?} (all|{})",
+                    ScenarioKind::ALL.map(|k| k.name()).join("|")
+                )
+            })
+        })
+        .collect()
+}
+
+fn scenario_backends(arg: &str) -> Result<Vec<efd_eval::BackendKind>, String> {
+    if arg == "all" {
+        return Ok(efd_eval::BackendKind::ALL.to_vec());
+    }
+    arg.split(',')
+        .map(|name| {
+            efd_eval::BackendKind::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown backend {name:?} (all|{})",
+                    efd_eval::BackendKind::ALL.map(|b| b.name()).join("|")
+                )
+            })
+        })
+        .collect()
+}
+
+/// `efd evaluate --scenario <name|all>`: the adversarial & drift matrix.
+///
+/// Every requested backend is fitted once on the canonical clean training
+/// split (through `EngineClassifier`, the adapter every engine backend
+/// shares), then scored on every requested scenario × intensity cell.
+/// `concept-drift` cells grow an extra online-relearning arm
+/// (`snapshot+relearn`): the same drifted sequence served live through
+/// `OnlineSession` with aging/eviction maintenance between chunks.
+fn cmd_evaluate_scenario(args: &Args) -> Result<(), String> {
+    let kinds = scenario_kinds(args.flag("scenario").expect("checked by caller"))?;
+    let backends = scenario_backends(args.flag("backend").unwrap_or("all"))?;
+    let seed = args.flag_parsed::<u64>("seed")?.unwrap_or(0);
+    let intensities: Vec<f64> = match args.flag_parsed::<f64>("intensity")? {
+        Some(i) if i.is_finite() && (0.0..=1.0).contains(&i) => vec![i],
+        Some(i) => return Err(format!("--intensity must be in [0, 1], got {i}")),
+        None => SCENARIO_GRID.to_vec(),
+    };
+    let out = args.flag("out").unwrap_or("SCENARIO_9.json");
+
+    let d = dataset_from(args)?;
+    let metric = headline(&d);
+    let interval = efd_telemetry::Interval::PAPER_DEFAULT;
+    let opts = efd_eval::CellOptions::default();
+    let clean = CleanRuns::from_dataset(&d, metric, interval);
+
+    // One fit per backend: the clean training split is identical for
+    // every scenario and intensity, so the matrix only pays the
+    // perturb-and-recognize cost per cell.
+    let fitted: Vec<_> = backends
+        .iter()
+        .map(|&b| {
+            eprintln!("fitting {b}…");
+            (b, efd_eval::fit_backend(b, &d, metric, interval, opts))
+        })
+        .collect();
+
+    let mut cells: Vec<ScenarioCell> = Vec::new();
+    for &kind in &kinds {
+        for &intensity in &intensities {
+            let spec = ScenarioSpec {
+                kind,
+                intensity,
+                seed,
+            };
+            let data = scenario_build(&clean, &spec);
+            for (b, clf) in &fitted {
+                cells.push(ScenarioCell {
+                    scenario: kind,
+                    backend: b.name().to_string(),
+                    intensity,
+                    relearn: false,
+                    report: efd_eval::run_cell(clf, &data, metric, interval),
+                });
+            }
+            if kind == ScenarioKind::ConceptDrift {
+                cells.push(ScenarioCell {
+                    scenario: kind,
+                    backend: "snapshot+relearn".to_string(),
+                    intensity,
+                    relearn: true,
+                    report: efd_eval::drift_relearn(&data, metric, interval, &opts),
+                });
+            }
+        }
+    }
+
+    // Human-readable: one table per scenario, rows ordered by backend
+    // then intensity.
+    for &kind in &kinds {
+        let mut t = efd_util::table::TextTable::new(vec![
+            "backend",
+            "intensity",
+            "macro-F1",
+            "accuracy",
+            "unk-P",
+            "unk-R",
+            "ECE",
+            "verdicts",
+        ])
+        .with_title(format!("scenario: {kind}"));
+        for c in cells.iter().filter(|c| c.scenario == kind) {
+            let r = &c.report;
+            t.add_row(vec![
+                c.backend.clone(),
+                format!("{:.2}", c.intensity),
+                format!("{:.3}", r.macro_f1),
+                format!("{:.3}", r.accuracy),
+                format!("{:.3}", r.unknown_precision),
+                format!("{:.3}", r.unknown_recall),
+                format!("{:.3}", r.calibration_error),
+                r.verdicts.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    // The headline claim of the drift scenario, stated explicitly.
+    if let Some(max_i) = intensities.iter().cloned().fold(None::<f64>, |m, i| {
+        Some(m.map_or(i, |m| m.max(i)))
+    }) {
+        let at = |backend: &str| {
+            cells
+                .iter()
+                .find(|c| {
+                    c.scenario == ScenarioKind::ConceptDrift
+                        && c.backend == backend
+                        && c.intensity == max_i
+                })
+                .map(|c| c.report.macro_f1)
+        };
+        if let (Some(relearn), Some(stat)) = (at("snapshot+relearn"), at("snapshot")) {
+            println!(
+                "concept-drift @ intensity {max_i:.2}: online relearning macro-F1 \
+                 {relearn:.3} vs static snapshot {stat:.3} ({:+.3})",
+                relearn - stat
+            );
+        }
+    }
+
+    // Machine-readable matrix, schema mirroring BENCH_7/BENCH_8.
+    let mut body = String::new();
+    body.push_str("{\n  \"suite\": \"scenario-matrix\",\n");
+    body.push_str(&format!(
+        "  \"config\": {{ \"seed\": {seed}, \"metric\": \"{}\", \"interval\": [{}, {}], \
+         \"scenarios\": [{}], \"backends\": [{}], \"intensities\": [{}] }},\n",
+        d.catalog().name(metric),
+        interval.start,
+        interval.end,
+        kinds
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        backends
+            .iter()
+            .map(|b| format!("\"{b}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        intensities
+            .iter()
+            .map(|i| format!("{i}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    body.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let r = &c.report;
+        body.push_str(&format!(
+            "    {{ \"scenario\": \"{}\", \"backend\": \"{}\", \"intensity\": {}, \
+             \"relearn\": {}, \"n\": {}, \"macro_f1\": {:.6}, \"accuracy\": {:.6}, \
+             \"unknown_precision\": {:.6}, \"unknown_recall\": {:.6}, \
+             \"unknown_f1\": {:.6}, \"calibration_error\": {:.6}, \
+             \"tie_coverage\": {:.6}, \"recognized\": {}, \"ambiguous\": {}, \
+             \"unknown\": {} }}{}\n",
+            c.scenario,
+            c.backend,
+            c.intensity,
+            c.relearn,
+            r.n,
+            r.macro_f1,
+            r.accuracy,
+            r.unknown_precision,
+            r.unknown_recall,
+            r.unknown_f1,
+            r.calibration_error,
+            r.tie_coverage,
+            r.verdicts.recognized,
+            r.verdicts.ambiguous,
+            r.verdicts.unknown,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(out, &body).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out} ({} cells)", cells.len());
     Ok(())
 }
 
@@ -1639,6 +1871,12 @@ COMMANDS
   figure2                regenerate Figure 2 (all experiments, both systems)
   evaluate               one experiment: --experiment <kind>
                          [--classifier efd|taxonomist|knn|gaussian-nb]
+                         or the adversarial & drift matrix: --scenario
+                         <all|cryptomining-masquerade|metric-dropout|node-heterogeneity
+                         |input-extrapolation|concept-drift> (comma lists ok)
+                         [--backend all|dict|snapshot|sharded|combo|efdb|wal|forest|knn
+                         |gaussian-nb] [--intensity X in [0,1], default grid 0..1 by .25]
+                         [--seed <u64>] [--out SCENARIO_9.json]
   screen                 rank all 562 metrics by normal-fold F-score [--top N]
   recognize              leave-one-out recognition demo: --run <idx>
   generate               export runs as LDMS-style CSVs: --out <dir> [--count N]

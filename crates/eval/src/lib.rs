@@ -10,6 +10,12 @@
 //!   [`ExecutionClassifier`].
 //! * [`experiments`] — normal fold, soft/hard input, soft/hard unknown
 //!   (paper §4), scored with scikit-learn-compatible macro F1.
+//! * [`scoring`] — abstention-quality scoring: unknown-detection
+//!   precision/recall, ambiguity calibration, verdict histograms.
+//! * [`robustness`] — the scenario × backend matrix: every engine backend
+//!   (dictionary family and ml family) scored on the adversarial & drift
+//!   scenarios from `efd_workload::scenario`, plus the online-relearning
+//!   arm for concept drift.
 //! * [`screening`] — per-metric normal-fold F-scores (paper Table 3).
 //! * [`paper`] — the paper's reported numbers (digitized from Figure 2 /
 //!   copied from Table 3) for side-by-side comparison.
@@ -24,9 +30,16 @@ pub mod engine;
 pub mod experiments;
 pub mod paper;
 pub mod report;
+pub mod robustness;
+pub mod scoring;
 pub mod screening;
 
 pub use classifier::{EfdClassifier, ExecutionClassifier, TaxonomistClassifier};
 pub use engine::{EngineClassifier, MlBackend, MlFamily};
 pub use experiments::{run_experiment, EvalOptions, ExperimentKind, ExperimentResult};
+pub use robustness::{
+    drift_relearn, fit_backend, query_from_means, run_cell, BackendKind, CellOptions,
+    ScenarioBackend,
+};
+pub use scoring::{score, AbstentionReport, ScoredQuery, VerdictHistogram, VerdictKind};
 pub use screening::{screen_metrics, MetricScore};

@@ -21,6 +21,9 @@
 //!   in parallel, deterministic per master seed.
 //! * [`splits`] — stratified k-fold and the leave-one-{input,app}-out
 //!   splits the paper's five experiments are built from.
+//! * [`scenario`] — adversarial & drift perturbations of the clean runs
+//!   (cryptomining masquerade, metric dropout, node heterogeneity, input
+//!   extrapolation, concept drift), seeded and intensity-parameterized.
 //!
 //! Everything is a deterministic function of the master seed; two processes
 //! generating the same spec get bit-identical traces.
@@ -32,10 +35,12 @@ pub mod apps;
 pub mod dataset;
 pub mod profile;
 pub mod run;
+pub mod scenario;
 pub mod splits;
 
 pub use apps::{AppId, InputSize};
 pub use dataset::{Dataset, DatasetSpec, SubsetKind};
 pub use profile::{GeneratorKnobs, SignalParams, Tier};
 pub use run::RunSpec;
+pub use scenario::{CleanRuns, ScenarioData, ScenarioKind, ScenarioRun, ScenarioSpec};
 pub use splits::{leave_one_app_out, leave_one_input_out, stratified_k_fold, Fold};

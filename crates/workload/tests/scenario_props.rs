@@ -1,0 +1,130 @@
+//! Property tests for the scenario builder (`efd_workload::scenario`).
+//!
+//! The load-bearing invariant: at `intensity == 0.0` every scenario is a
+//! true null perturbation — the built test sequence is *byte-identical*
+//! (per-f64 bit pattern) to the clean substrate, for any substrate, any
+//! scenario kind, and any seed. The scoring side leans on this: the
+//! intensity-0 column of the matrix doubles as the clean baseline.
+
+use proptest::prelude::*;
+
+use efd_telemetry::AppLabel;
+use efd_workload::scenario::{build, split, CleanRuns, ScenarioKind, ScenarioSpec};
+
+/// A synthetic substrate: arbitrary labels over a small app pool and
+/// arbitrary per-node means, including the awkward ones (zero, negative,
+/// huge, and non-finite "lost sensor" values).
+fn arb_clean_runs() -> impl Strategy<Value = CleanRuns> {
+    let mean = prop_oneof![
+        -1.0e9..1.0e9,
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ];
+    (2usize..6).prop_flat_map(move |nodes| {
+        prop::collection::vec(
+            (
+                prop::sample::select(vec!["hpl", "kripke", "miner", "lammps"]),
+                prop::sample::select(vec!["small", "large"]),
+                prop::collection::vec(mean.clone(), nodes..=nodes),
+            ),
+            1..24,
+        )
+        .prop_map(|runs| {
+            let labels = runs
+                .iter()
+                .map(|(app, input, _)| AppLabel::new(*app, *input))
+                .collect();
+            let means = runs.into_iter().map(|(_, _, m)| m).collect();
+            CleanRuns { labels, means }
+        })
+    })
+}
+
+fn arb_kind() -> impl Strategy<Value = ScenarioKind> {
+    prop::sample::select(ScenarioKind::ALL.to_vec())
+}
+
+/// Bit patterns of a run's means — NaN-proof equality.
+fn bits(means: &[f64]) -> Vec<u64> {
+    means.iter().map(|m| m.to_bits()).collect()
+}
+
+proptest! {
+    /// Satellite 2: intensity 0 is byte-identical to the clean substrate,
+    /// for every scenario kind, any seed, any substrate.
+    #[test]
+    fn null_perturbation_is_byte_identical(
+        clean in arb_clean_runs(),
+        kind in arb_kind(),
+        seed in any::<u64>(),
+    ) {
+        let spec = ScenarioSpec { kind, intensity: 0.0, seed };
+        let data = build(&clean, &spec);
+        let (train_idx, test_idx) = split(clean.len());
+
+        prop_assert_eq!(data.test.len(), test_idx.len());
+        prop_assert_eq!(data.train.len(), train_idx.len());
+        for (run, &i) in data.test.iter().zip(&test_idx) {
+            prop_assert_eq!(bits(&run.means), bits(&clean.means[i]));
+            prop_assert_eq!(run.truth.as_ref(), Some(&clean.labels[i]));
+        }
+        for (run, &i) in data.train.iter().zip(&train_idx) {
+            prop_assert_eq!(bits(&run.means), bits(&clean.means[i]));
+            prop_assert_eq!(run.truth.as_ref(), Some(&clean.labels[i]));
+        }
+    }
+
+    /// Builds are pure functions of (substrate, spec): two builds of the
+    /// same spec are bit-identical at any intensity.
+    #[test]
+    fn builds_are_deterministic_at_any_intensity(
+        clean in arb_clean_runs(),
+        kind in arb_kind(),
+        seed in any::<u64>(),
+        quarters in 0u8..5,
+    ) {
+        let spec = ScenarioSpec { kind, intensity: f64::from(quarters) / 4.0, seed };
+        let a = build(&clean, &spec);
+        let b = build(&clean, &spec);
+        prop_assert_eq!(a.test.len(), b.test.len());
+        for (ra, rb) in a.test.iter().zip(&b.test) {
+            prop_assert_eq!(bits(&ra.means), bits(&rb.means));
+            prop_assert_eq!(ra.truth.as_ref(), rb.truth.as_ref());
+            prop_assert_eq!(ra.relearn, rb.relearn);
+        }
+    }
+
+    /// Perturbations never manufacture data: non-finite clean means stay
+    /// non-finite (lost sensors are not resurrected), and in-dictionary
+    /// runs keep their ground truth at every intensity.
+    #[test]
+    fn perturbations_preserve_shape_and_truth(
+        clean in arb_clean_runs(),
+        kind in arb_kind(),
+        seed in any::<u64>(),
+        quarters in 0u8..5,
+    ) {
+        let spec = ScenarioSpec { kind, intensity: f64::from(quarters) / 4.0, seed };
+        let data = build(&clean, &spec);
+        let (_, test_idx) = split(clean.len());
+
+        // Injected runs (masquerade miners) only ever extend the tail.
+        prop_assert!(data.test.len() >= test_idx.len());
+        for (run, &i) in data.test.iter().zip(&test_idx) {
+            prop_assert_eq!(run.means.len(), clean.means[i].len());
+            prop_assert_eq!(run.truth.as_ref(), Some(&clean.labels[i]));
+            for (m, c) in run.means.iter().zip(&clean.means[i]) {
+                if !c.is_finite() && kind != ScenarioKind::MetricDropout {
+                    prop_assert_eq!(m.to_bits(), c.to_bits());
+                }
+            }
+        }
+        // Everything past the clean tail is an abstention target.
+        for run in &data.test[test_idx.len()..] {
+            prop_assert_eq!(run.truth.as_ref(), None);
+        }
+    }
+}
