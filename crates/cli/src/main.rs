@@ -17,8 +17,13 @@
 //!           [--wal-sync always|batch|none]      learning, crash recovery on restart
 //! efd serve --listen <addr> ...           the network daemon: TCP frame protocol,
 //!                                         /metrics over HTTP, SIGHUP hot reload
+//! efd serve --manifest <stack.json> ...   manifest-stacked recognizer (exact →
+//!                                         combo → ml fallback), batch or --listen
+//! efd catalog <publish|list|show|rollback>  versioned artifact store: --dir <dir>
+//! efd diff <A> <B> [--format table|json]  structural dictionary diff; exit 3 when
+//!                                         semantically different
 //! efd loadgen --addr <a> [--qps N]        drive a daemon, report latency percentiles
-//! efd ctl <action> --addr <a>             ping|stats|swap|shutdown|metrics
+//! efd ctl <action> --addr <a>             ping|stats|status|swap|shutdown|metrics
 //! efd compact --wal <dir> [--out p]       merge WAL segments+log into canonical EFDB
 //! efd wal-verify --wal <dir>              audit a WAL directory offline
 //! efd bench-snapshot [--out f]            machine-readable perf snapshot (BENCH_7.json)
@@ -30,8 +35,10 @@
 //! (`--subset full` switches to the full-repetition variant,
 //! `--seed <u64>` regenerates a different universe).
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use efd_catalog::{Baseline, Catalog, CatalogRef, Manifest, StageBackend};
 use efd_core::engine::Recognize;
 use efd_core::{binfmt, serialize, EfdDictionary};
 use efd_eval::classifier::{EfdClassifier, ExecutionClassifier, TaxonomistClassifier};
@@ -1040,8 +1047,26 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         return cmd_serve_wal(args, dir);
     }
 
+    if let Some(mpath) = args.flag("manifest") {
+        if args.flag("load").is_some() || args.flag("dict").is_some() {
+            return Err("--manifest and --load are mutually exclusive".into());
+        }
+        let d = dataset_from(args)?;
+        let shards: usize = args.flag_parsed("shards")?.unwrap_or(8);
+        let repeat: usize = args.flag_parsed("repeat")?.unwrap_or(1).max(1);
+        let me = engine_from_manifest(Path::new(mpath), d.catalog(), shards)?;
+        println!("manifest:   {mpath} — stack {}", me.stack.describe());
+        for p in &me.provenance {
+            println!("provenance: {p}");
+        }
+        println!("version:    {}", me.version.as_deref().unwrap_or("-"));
+        let queries = serve_queries(args, &d)?;
+        serve_batch(Arc::new(me.stack), &queries, repeat);
+        return Ok(());
+    }
+
     let backend_kind = ServeBackend::from_args(args)?;
-    let dict_path = match (args.flag("dict"), args.flag("load")) {
+    let dict_spec = match (args.flag("dict"), args.flag("load")) {
         (Some(p), None) | (None, Some(p)) => p,
         (Some(_), Some(_)) => return Err("--dict and --load are mutually exclusive".into()),
         (None, None) => {
@@ -1055,6 +1080,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let repeat: usize = args.flag_parsed("repeat")?.unwrap_or(1).max(1);
 
     let d = dataset_from(args)?;
+    let src = resolve_dict_source(dict_spec, args.flag("catalog"))?;
+    let dict_path = src.shown.as_str();
 
     // Load the dictionary. An EFDB file is zero-parse decoded; a JSON
     // dump pays a text parse. The live `EfdDictionary` is always needed
@@ -1062,7 +1089,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     // the snapshot fast path (decoded EFDB sections → snapshot, no
     // intermediate dictionary) is taken only when a snapshot is actually
     // being served.
-    let raw = std::fs::read(dict_path).map_err(|e| format!("{dict_path}: {e}"))?;
+    let raw = std::fs::read(&src.path).map_err(|e| format!("{dict_path}: {e}"))?;
     let is_efdb = raw.starts_with(&binfmt::MAGIC);
     let (dict, fast_snapshot) = if is_efdb {
         let t = Instant::now();
@@ -1089,11 +1116,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         let parts = efdb
             .into_parts(d.catalog())
             .map_err(|e| format!("{dict_path}: {e}"))?;
-        println!(
-            "loaded:     {dict_path} — {} bytes efdb, decode {:.2} ms, snapshot {:.2} ms",
-            raw.len(),
-            decode.as_secs_f64() * 1e3,
-            build.as_secs_f64() * 1e3,
+        report_loaded(
+            &src,
+            &format!(
+                "{} bytes efdb, decode {:.2} ms, snapshot {:.2} ms",
+                raw.len(),
+                decode.as_secs_f64() * 1e3,
+                build.as_secs_f64() * 1e3,
+            ),
         );
         (EfdDictionary::from_parts(parts), snapshot)
     } else {
@@ -1101,10 +1131,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         let t = Instant::now();
         let dict = serialize::from_json(text, d.catalog()).map_err(|e| e.to_string())?;
         let parse = t.elapsed();
-        println!(
-            "loaded:     {dict_path} — {} bytes json, parse {:.2} ms",
-            raw.len(),
-            parse.as_secs_f64() * 1e3,
+        report_loaded(
+            &src,
+            &format!(
+                "{} bytes json, parse {:.2} ms",
+                raw.len(),
+                parse.as_secs_f64() * 1e3,
+            ),
         );
         (dict, None)
     };
@@ -1227,7 +1260,27 @@ fn cmd_serve_listen(args: &Args, addr: &str) -> Result<(), String> {
     cfg.shards = shards;
     cfg.backend = backend;
 
-    let engine = if let Some(dir) = args.flag("wal") {
+    let engine = if let Some(mpath) = args.flag("manifest") {
+        if args.flag("load").is_some() || args.flag("dict").is_some() || args.flag("wal").is_some()
+        {
+            return Err("--manifest and --load/--wal are mutually exclusive".into());
+        }
+        let mpath = std::path::PathBuf::from(mpath);
+        let me = engine_from_manifest(&mpath, d.catalog(), shards)?;
+        println!("manifest:   {} — stack {}", mpath.display(), me.stack.describe());
+        for p in &me.provenance {
+            println!("provenance: {p}");
+        }
+        // SWAP / SIGHUP rebuild the whole stack from the manifest file,
+        // re-resolving `@latest` against the catalog — that is the hot
+        // swap to a re-published version.
+        cfg.reload_path = Some(mpath);
+        let loader_catalog = d.catalog().clone();
+        cfg.loader = Some(Arc::new(move |p: &std::path::Path| {
+            engine_from_manifest(p, &loader_catalog, shards).map(manifest_net_engine)
+        }));
+        manifest_net_engine(me)
+    } else if let Some(dir) = args.flag("wal") {
         if args.flag("load").is_some() || args.flag("dict").is_some() {
             return Err("--wal and --load are mutually exclusive".into());
         }
@@ -1264,7 +1317,7 @@ fn cmd_serve_listen(args: &Args, addr: &str) -> Result<(), String> {
         );
         net::Engine::durable(Arc::new(served))
     } else {
-        let path = match (args.flag("dict"), args.flag("load")) {
+        let spec = match (args.flag("dict"), args.flag("load")) {
             (Some(p), None) | (None, Some(p)) => p,
             (Some(_), Some(_)) => return Err("--dict and --load are mutually exclusive".into()),
             (None, None) => {
@@ -1274,8 +1327,19 @@ fn cmd_serve_listen(args: &Args, addr: &str) -> Result<(), String> {
                 )
             }
         };
-        cfg.reload_path = Some(std::path::PathBuf::from(path));
-        net::load_engine(std::path::Path::new(path), backend, d.catalog(), shards)?
+        let src = resolve_dict_source(spec, args.flag("catalog"))?;
+        if let Some(p) = &src.provenance {
+            println!("provenance: {p}");
+        }
+        cfg.reload_path = Some(src.path.clone());
+        let mut engine = net::load_engine(&src.path, backend, d.catalog(), shards)?;
+        if let Some(v) = src.version {
+            engine = engine.with_version(v);
+        }
+        if let Some(b) = src.baseline {
+            engine = engine.with_baseline(b);
+        }
+        engine
     };
     println!(
         "engine:     {} — {} keys (generation 1)",
@@ -1289,7 +1353,10 @@ fn cmd_serve_listen(args: &Args, addr: &str) -> Result<(), String> {
         "listening:  {} — {workers} workers; GET /metrics and /healthz on the same port",
         server.local_addr()
     );
-    println!("control:    efd ctl <ping|stats|swap|shutdown|metrics> --addr {}", server.local_addr());
+    println!(
+        "control:    efd ctl <ping|stats|status|swap|shutdown|metrics> --addr {}",
+        server.local_addr()
+    );
     while server.running() {
         std::thread::sleep(Duration::from_millis(50));
     }
@@ -1299,6 +1366,552 @@ fn cmd_serve_listen(args: &Args, addr: &str) -> Result<(), String> {
         summary.requests, summary.connections
     );
     Ok(())
+}
+
+/// Wall-clock seconds since the Unix epoch (artifact publish stamps).
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Measure a dictionary's abstention baseline: replay a deterministic
+/// labeled stream (the `synth_learn_stream` shape) through a snapshot of
+/// the dictionary and record unknown/ambiguous rates plus macro-F1.
+/// Published alongside the artifact, this is what the serve layer's
+/// drift monitor compares live traffic against.
+fn abstention_baseline(dict: &EfdDictionary, d: &Dataset, queries: usize) -> Baseline {
+    use std::collections::BTreeMap;
+
+    let stream = synth_learn_stream(d, queries.max(1));
+    let snapshot = efd_serve::Snapshot::freeze(dict, 8);
+    let mut scratch = efd_core::engine::VoteScratch::default();
+    let (mut unknown, mut ambiguous) = (0usize, 0usize);
+    // app -> (true positives, false positives, false negatives)
+    let mut tally: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+    for obs in &stream {
+        let rec = snapshot.recognize_into(&obs.query, &mut scratch).normalized();
+        let truth = obs.label.app.as_str();
+        match &rec.verdict {
+            efd_core::Verdict::Recognized(app) if app.as_str() == truth => {
+                tally.entry(app.clone()).or_default().0 += 1;
+            }
+            efd_core::Verdict::Recognized(app) => {
+                tally.entry(app.clone()).or_default().1 += 1;
+                tally.entry(truth.to_string()).or_default().2 += 1;
+            }
+            efd_core::Verdict::Ambiguous(_) => {
+                ambiguous += 1;
+                tally.entry(truth.to_string()).or_default().2 += 1;
+            }
+            // `Unknown`, and any future verdict, is an abstention.
+            _ => {
+                unknown += 1;
+                tally.entry(truth.to_string()).or_default().2 += 1;
+            }
+        }
+    }
+    let n = stream.len().max(1) as f64;
+    let macro_f1 = if tally.is_empty() {
+        0.0
+    } else {
+        tally
+            .values()
+            .map(|&(tp, fp, fneg)| {
+                let denom = 2 * tp + fp + fneg;
+                if denom == 0 {
+                    0.0
+                } else {
+                    2.0 * tp as f64 / denom as f64
+                }
+            })
+            .sum::<f64>()
+            / tally.len() as f64
+    };
+    Baseline {
+        queries: stream.len(),
+        unknown_rate: unknown as f64 / n,
+        ambiguous_rate: ambiguous as f64 / n,
+        macro_f1,
+    }
+}
+
+/// Where a dictionary operand's bytes live after resolution: a plain
+/// file path, or a published catalog artifact — digest-verified and
+/// resolved to its on-disk file, so daemon hot reload can re-read it.
+struct DictSource {
+    path: PathBuf,
+    /// Display name for report lines: the canonical catalog ref, or the
+    /// path as given.
+    shown: String,
+    /// Provenance line when the source is a published artifact.
+    provenance: Option<String>,
+    /// Catalog version ref and publish-time baseline (daemon surfaces).
+    version: Option<String>,
+    baseline: Option<efd_serve::net::DriftBaseline>,
+}
+
+/// Resolve a `--load`/`diff` operand. A string that parses as a catalog
+/// reference (`name`, `name@latest`, `name@vN`) resolves against
+/// `--catalog <dir>`; anything else is a file path. This is the one
+/// resolution path shared by batch `serve --load`, the daemon, and
+/// `efd diff`.
+fn resolve_dict_source(spec: &str, catalog_dir: Option<&str>) -> Result<DictSource, String> {
+    let reference = CatalogRef::parse(spec);
+    if let Some(reference) = reference.filter(|_| catalog_dir.is_some() || spec.contains('@')) {
+        let dir = catalog_dir.ok_or_else(|| {
+            format!("{spec:?} is a catalog reference; pass --catalog <dir> to resolve it")
+        })?;
+        let cat = Catalog::open(dir).map_err(|e| e.to_string())?;
+        let a = cat.resolve(&reference).map_err(|e| e.to_string())?;
+        // Integrity check now; serving re-reads the same verified file.
+        cat.read_bytes(a).map_err(|e| e.to_string())?;
+        Ok(DictSource {
+            path: cat.dir().join(&a.file),
+            shown: a.artifact_ref(),
+            provenance: Some(a.provenance()),
+            version: Some(a.artifact_ref()),
+            baseline: a.baseline.as_ref().map(|b| efd_serve::net::DriftBaseline {
+                unknown_rate: b.unknown_rate,
+                ambiguous_rate: b.ambiguous_rate,
+            }),
+        })
+    } else {
+        Ok(DictSource {
+            path: PathBuf::from(spec),
+            shown: spec.to_string(),
+            provenance: None,
+            version: None,
+            baseline: None,
+        })
+    }
+}
+
+/// The uniform load report: every path that loads a dictionary announces
+/// the source the same way and prints its catalog provenance when it has
+/// one.
+fn report_loaded(src: &DictSource, detail: &str) {
+    println!("loaded:     {} — {detail}", src.shown);
+    if let Some(p) = &src.provenance {
+        println!("provenance: {p}");
+    }
+}
+
+/// `efd catalog <publish|list|show|rollback> --dir <dir>`: the versioned
+/// fingerprint-artifact store.
+fn cmd_catalog(args: &Args) -> Result<(), String> {
+    let action = args
+        .positional
+        .first()
+        .ok_or("catalog needs an action (publish|list|show|rollback)")?;
+    let dir = args.flag("dir").ok_or("need --dir <catalog-dir>")?;
+    match action.as_str() {
+        "publish" => {
+            let name = args.flag("name").ok_or("need --name <artifact-name>")?;
+            let from = args.flag("from").ok_or("need --from <dump.json|dict.efdb>")?;
+            let d = dataset_from(args)?;
+            let raw = std::fs::read(from).map_err(|e| format!("{from}: {e}"))?;
+            let (dict, _) = decode_dict(&raw, d.catalog(), from)?;
+            let baseline = match args.flag("baseline") {
+                None | Some("auto") => {
+                    let n: usize = args.flag_parsed("baseline-queries")?.unwrap_or(2000);
+                    Some(abstention_baseline(&dict, &d, n))
+                }
+                Some("none") => None,
+                Some(other) => return Err(format!("unknown --baseline {other:?} (auto|none)")),
+            };
+            let mut cat = Catalog::open(dir).map_err(|e| e.to_string())?;
+            let a = cat
+                .publish_dictionary(name, &dict, d.catalog(), from, unix_now(), baseline)
+                .map_err(|e| e.to_string())?;
+            println!("published:  {}", a.artifact_ref());
+            println!("provenance: {}", a.provenance());
+            Ok(())
+        }
+        "list" => {
+            let cat = Catalog::open(dir).map_err(|e| e.to_string())?;
+            if cat.artifacts().is_empty() {
+                println!("catalog {dir} is empty");
+                return Ok(());
+            }
+            let mut t = efd_util::table::TextTable::new(vec![
+                "ref", "keys", "apps", "depth", "parent", "baseline", "status", "source",
+            ]);
+            for a in cat.artifacts() {
+                let status = if a.retired {
+                    "retired"
+                } else if cat.latest(&a.name).map(|l| l.version) == Some(a.version) {
+                    "latest"
+                } else {
+                    "live"
+                };
+                t.add_row(vec![
+                    a.artifact_ref(),
+                    a.keys.to_string(),
+                    a.apps.to_string(),
+                    a.depth.to_string(),
+                    a.parent.map_or("-".to_string(), |p| format!("v{p}")),
+                    a.baseline.as_ref().map_or("-".to_string(), |b| {
+                        format!("unk {:.3} amb {:.3}", b.unknown_rate, b.ambiguous_rate)
+                    }),
+                    status.to_string(),
+                    a.source.clone(),
+                ]);
+            }
+            println!("{}", t.render());
+            Ok(())
+        }
+        "show" => {
+            let spec = args
+                .positional
+                .get(1)
+                .ok_or("show needs a reference (name, name@latest, name@vN)")?;
+            let r = CatalogRef::parse(spec)
+                .ok_or_else(|| format!("invalid catalog reference {spec:?}"))?;
+            let cat = Catalog::open(dir).map_err(|e| e.to_string())?;
+            let a = cat.resolve(&r).map_err(|e| e.to_string())?;
+            println!("provenance: {}", a.provenance());
+            println!(
+                "file:       {} (published at unix {})",
+                cat.dir().join(&a.file).display(),
+                a.created_unix
+            );
+            let bytes = cat.read_bytes(a).map_err(|e| e.to_string())?;
+            println!(
+                "integrity:  ok — {} bytes, digest {:016x}, metric catalog {:016x}",
+                bytes.len(),
+                a.digest,
+                a.catalog_digest
+            );
+            Ok(())
+        }
+        "rollback" => {
+            let name = args.positional.get(1).ok_or("rollback needs a name")?;
+            let mut cat = Catalog::open(dir).map_err(|e| e.to_string())?;
+            let (retired, now_latest) = cat.rollback(name).map_err(|e| e.to_string())?;
+            println!(
+                "rolled back: {name}@v{retired} retired; @latest is {}",
+                now_latest.map_or("gone".to_string(), |v| format!("v{v}")),
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown catalog action {other:?} (publish|list|show|rollback)"
+        )),
+    }
+}
+
+/// Render the structural diff as the human table report.
+fn render_diff_table(label_a: &str, label_b: &str, r: &efd_core::diff::DictDiff) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("diff:       {label_a} -> {label_b}\n"));
+    out.push_str(&format!("depth:      {} -> {}\n", r.depth_a, r.depth_b));
+    out.push_str(&format!(
+        "keys:       {} -> {} ({:+})\n",
+        r.keys_a,
+        r.keys_b,
+        r.keys_b as i64 - r.keys_a as i64
+    ));
+    out.push_str(&format!(
+        "changes:    {} added, {} removed, {} relabelled\n",
+        r.added, r.removed, r.relabelled
+    ));
+    out.push_str(&format!(
+        "divergence: {} of {} sampled verdicts differ\n",
+        r.divergence.diverged, r.divergence.sampled
+    ));
+    if !r.coverage.is_empty() {
+        let mut t = efd_util::table::TextTable::new(vec!["app", "keys A", "keys B", "delta"])
+            .with_title("coverage (keys voting per app)");
+        for c in &r.coverage {
+            t.add_row(vec![
+                c.app.clone(),
+                c.keys_a.to_string(),
+                c.keys_b.to_string(),
+                format!("{:+}", c.delta()),
+            ]);
+        }
+        out.push_str(&t.render());
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    for key in &r.added_examples {
+        out.push_str(&format!("  + {key}\n"));
+    }
+    for key in &r.removed_examples {
+        out.push_str(&format!("  - {key}\n"));
+    }
+    for e in &r.relabel_examples {
+        out.push_str(&format!(
+            "  ~ {}: [{}] -> [{}]\n",
+            e.key,
+            e.labels_a.join(", "),
+            e.labels_b.join(", ")
+        ));
+    }
+    for e in &r.divergence.examples {
+        out.push_str(&format!("  ! {}: {} -> {}\n", e.key, e.verdict_a, e.verdict_b));
+    }
+    out.push_str(&format!(
+        "verdict:    semantically {}\n",
+        if r.semantically_equal() { "equal" } else { "different" }
+    ));
+    out
+}
+
+/// Render the structural diff as machine-readable JSON.
+fn render_diff_json(label_a: &str, label_b: &str, r: &efd_core::diff::DictDiff) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"a\": \"{}\",\n  \"b\": \"{}\",\n",
+        esc(label_a),
+        esc(label_b)
+    ));
+    out.push_str(&format!(
+        "  \"depth\": {{ \"a\": {}, \"b\": {} }},\n",
+        r.depth_a, r.depth_b
+    ));
+    out.push_str(&format!(
+        "  \"keys\": {{ \"a\": {}, \"b\": {} }},\n",
+        r.keys_a, r.keys_b
+    ));
+    out.push_str(&format!(
+        "  \"added\": {}, \"removed\": {}, \"relabelled\": {},\n",
+        r.added, r.removed, r.relabelled
+    ));
+    out.push_str(&format!(
+        "  \"divergence\": {{ \"sampled\": {}, \"diverged\": {} }},\n",
+        r.divergence.sampled, r.divergence.diverged
+    ));
+    out.push_str("  \"coverage\": [\n");
+    for (i, c) in r.coverage.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"app\": \"{}\", \"keys_a\": {}, \"keys_b\": {}, \"delta\": {} }}{}\n",
+            esc(&c.app),
+            c.keys_a,
+            c.keys_b,
+            c.delta(),
+            if i + 1 < r.coverage.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"semantically_equal\": {}\n}}\n",
+        r.semantically_equal()
+    ));
+    out
+}
+
+/// `efd diff <A> <B>`: structural dictionary diff over any two artifacts
+/// (files or catalog refs). Returns whether the sides are semantically
+/// different — `main` maps `true` to exit code 3, keeping exit 1 for
+/// errors.
+fn cmd_diff(args: &Args) -> Result<bool, String> {
+    let (a_spec, b_spec) = match (args.positional.first(), args.positional.get(1)) {
+        (Some(a), Some(b)) => (a.as_str(), b.as_str()),
+        _ => {
+            return Err(
+                "diff needs two artifacts: <A> <B> (file paths, or catalog refs with --catalog <dir>)"
+                    .into(),
+            )
+        }
+    };
+    let json = match args.flag("format") {
+        None | Some("table") => false,
+        Some("json") => true,
+        Some(other) => return Err(format!("unknown --format {other:?} (table|json)")),
+    };
+    let mut opts = efd_core::diff::DiffOptions::default();
+    if let Some(s) = args.flag_parsed::<usize>("samples")? {
+        opts.samples = s;
+    }
+    let d = dataset_from(args)?;
+    let catalog = d.catalog();
+    let load = |spec: &str| -> Result<(EfdDictionary, DictSource), String> {
+        let src = resolve_dict_source(spec, args.flag("catalog"))?;
+        let raw = std::fs::read(&src.path).map_err(|e| format!("{}: {e}", src.path.display()))?;
+        let (dict, _) = decode_dict(&raw, catalog, &src.shown)?;
+        Ok((dict, src))
+    };
+    let (da, sa) = load(a_spec)?;
+    let (db, sb) = load(b_spec)?;
+    let r = efd_core::diff::diff(&da, &db, catalog, &opts);
+    if json {
+        print!("{}", render_diff_json(&sa.shown, &sb.shown, &r));
+    } else {
+        for s in [&sa, &sb] {
+            if let Some(p) = &s.provenance {
+                println!("provenance: {p}");
+            }
+        }
+        print!("{}", render_diff_table(&sa.shown, &sb.shown, &r));
+    }
+    Ok(!r.semantically_equal())
+}
+
+/// A manifest-stacked engine, built (and rebuilt on hot reload) from one
+/// `recognizer.v1` file.
+struct ManifestEngine {
+    stack: efd_serve::StackedRecognizer,
+    /// Primary stage's key count (status lines).
+    keys: usize,
+    version: Option<String>,
+    baseline: Option<efd_serve::net::DriftBaseline>,
+    provenance: Vec<String>,
+}
+
+/// Rebuild a labeled training stream from a dictionary's own entries —
+/// how an ml fallback stage learns the knowledge the exact stages serve
+/// (one single-point observation per key-label pair).
+fn dictionary_observations(dict: &EfdDictionary) -> Vec<efd_core::LabeledObservation> {
+    let mut out = Vec::new();
+    for (fp, labels) in dict.entries() {
+        for l in labels {
+            out.push(efd_core::LabeledObservation {
+                label: (*l).clone(),
+                query: efd_core::Query {
+                    points: vec![efd_core::observation::ObsPoint {
+                        metric: fp.metric,
+                        node: fp.node,
+                        interval: fp.interval,
+                        mean: fp.mean(),
+                    }],
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Build the stacked engine a manifest declares. Every stage's artifact
+/// resolves through the manifest's catalog (or a file path relative to
+/// the manifest); the served version and drift baseline come from the
+/// primary stage's artifact record.
+fn engine_from_manifest(
+    path: &Path,
+    catalog: &efd_telemetry::MetricCatalog,
+    shards: usize,
+) -> Result<ManifestEngine, String> {
+    use efd_core::engine::Learn as _;
+    use std::sync::Arc;
+
+    let m = Manifest::load(path).map_err(|e| e.to_string())?;
+    let cat = match &m.catalog_dir {
+        Some(dir) => Some(Catalog::open(dir.clone()).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let mut stages = Vec::new();
+    let mut provenance = Vec::new();
+    let mut version = Some(m.name.clone());
+    let mut baseline = None;
+    let mut keys = 0usize;
+    for (i, stage) in m.stack.iter().enumerate() {
+        let reference = CatalogRef::parse(&stage.artifact);
+        let (raw, shown, artifact) = match (&cat, reference) {
+            (Some(cat), Some(r)) => {
+                let a = cat.resolve(&r).map_err(|e| e.to_string())?;
+                (
+                    cat.read_bytes(a).map_err(|e| e.to_string())?,
+                    a.artifact_ref(),
+                    Some(a),
+                )
+            }
+            _ => {
+                let p = if Path::new(&stage.artifact).is_relative() {
+                    path.parent().unwrap_or(Path::new(".")).join(&stage.artifact)
+                } else {
+                    PathBuf::from(&stage.artifact)
+                };
+                (
+                    std::fs::read(&p).map_err(|e| format!("{}: {e}", p.display()))?,
+                    stage.artifact.clone(),
+                    None,
+                )
+            }
+        };
+        let (dict, _) = decode_dict(&raw, catalog, &shown)?;
+        if i == 0 {
+            keys = dict.len();
+            if let Some(a) = artifact {
+                version = Some(a.artifact_ref());
+                baseline = a.baseline.as_ref().map(|b| efd_serve::net::DriftBaseline {
+                    unknown_rate: b.unknown_rate,
+                    ambiguous_rate: b.ambiguous_rate,
+                });
+            }
+        }
+        if let Some(a) = artifact {
+            provenance.push(a.provenance());
+        }
+        let engine: Arc<dyn Recognize + Send + Sync> = match &stage.backend {
+            StageBackend::Exact => Arc::new(efd_serve::Snapshot::freeze(&dict, shards)),
+            StageBackend::Efdb => {
+                // Zero-copy wants canonical EFDB bytes; re-encode when
+                // the artifact was a JSON dump.
+                let bytes = if raw.starts_with(&binfmt::MAGIC) {
+                    raw.clone()
+                } else {
+                    binfmt::write_dictionary(&dict, catalog)
+                };
+                Arc::new(
+                    efd_serve::EfdbSnapshot::load(bytes, catalog)
+                        .map_err(|e| format!("{shown}: {e}"))?,
+                )
+            }
+            StageBackend::Sharded => {
+                Arc::new(efd_serve::ShardedDictionary::from_parts(dict.to_parts(), shards))
+            }
+            StageBackend::Combo => {
+                let combo = efd_core::multi::ComboDictionary::from_single_metric(&dict)
+                    .ok_or_else(|| {
+                        format!("{shown}: combo stage needs a non-empty single-metric dictionary")
+                    })?;
+                Arc::new(efd_serve::ComboSnapshot::freeze(combo))
+            }
+            StageBackend::Knn { k } => {
+                let mut ml = MlBackend::knn(*k, stage.min_confidence);
+                for obs in dictionary_observations(&dict) {
+                    ml.learn(&obs);
+                }
+                Arc::new(ml)
+            }
+            StageBackend::GaussianNb => {
+                let mut ml = MlBackend::gaussian_nb(stage.min_confidence);
+                for obs in dictionary_observations(&dict) {
+                    ml.learn(&obs);
+                }
+                Arc::new(ml)
+            }
+        };
+        stages.push(efd_serve::StackedStage {
+            name: stage.backend.to_string(),
+            engine,
+            min_confidence: stage.min_confidence,
+        });
+    }
+    Ok(ManifestEngine {
+        stack: efd_serve::StackedRecognizer::new(stages),
+        keys,
+        version,
+        baseline,
+        provenance,
+    })
+}
+
+/// Wrap a built manifest stack as the daemon's engine.
+fn manifest_net_engine(me: ManifestEngine) -> efd_serve::net::Engine {
+    let mut e = efd_serve::net::Engine::fixed(std::sync::Arc::new(me.stack), me.keys, "stacked");
+    if let Some(v) = me.version {
+        e = e.with_version(v);
+    }
+    if let Some(b) = me.baseline {
+        e = e.with_baseline(b);
+    }
+    e
 }
 
 /// `efd loadgen --addr <a>`: drive a running daemon and report latency
@@ -1429,7 +2042,7 @@ fn cmd_ctl(args: &Args) -> Result<(), String> {
     let action = args
         .positional
         .first()
-        .ok_or("ctl needs an action (ping|stats|swap|shutdown|metrics)")?;
+        .ok_or("ctl needs an action (ping|stats|status|swap|shutdown|metrics)")?;
     let addr = args.flag("addr").ok_or("need --addr <host:port>")?;
     let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
     stream
@@ -1468,6 +2081,7 @@ fn cmd_ctl(args: &Args) -> Result<(), String> {
     let line = match action.as_str() {
         "ping" => "PING".to_string(),
         "stats" => "STATS".to_string(),
+        "status" => "STATUS".to_string(),
         "shutdown" => "SHUTDOWN".to_string(),
         "swap" => match args.flag("path") {
             Some(p) => format!("SWAP {p}"),
@@ -1475,7 +2089,7 @@ fn cmd_ctl(args: &Args) -> Result<(), String> {
         },
         other => {
             return Err(format!(
-                "unknown ctl action {other:?} (ping|stats|swap|shutdown|metrics)"
+                "unknown ctl action {other:?} (ping|stats|status|swap|shutdown|metrics)"
             ))
         }
     };
@@ -1896,11 +2510,23 @@ COMMANDS
                          or daemon: --listen <addr> (e.g. 127.0.0.1:7070) — TCP frame
                          protocol + GET /metrics on one port; [--workers N]
                          [--idle-timeout SECS]; hot reload on SIGHUP or `efd ctl swap`
+                         or stacked: --manifest <stack.json> — recognizer.v1 stack
+                         (exact -> combo -> ml fallback, first confident verdict
+                         wins); works batch or with --listen (hot-swappable)
+                         --load also accepts a catalog ref (name@latest, name@vN)
+                         with --catalog <dir>
+  catalog                versioned artifact store: <publish|list|show|rollback>
+                         --dir <dir>; publish: --name <n> --from <dump>
+                         [--baseline auto|none] [--baseline-queries N (default 2000)]
+                         show/rollback take a reference/name positionally
+  diff                   structural dictionary diff: <A> <B> (files or catalog refs
+                         with --catalog <dir>) [--format table|json] [--samples N];
+                         exit 0 = semantically equal, 3 = different, 1 = error
   loadgen                drive a running daemon: --addr <host:port> [--conns N]
                          [--duration SECS] [--qps N] [--pipeline N] [--keyspace N]
                          [--requests N] [--ping true] [--out BENCH_8.json]
-  ctl                    one-shot daemon control: <ping|stats|swap|shutdown|metrics>
-                         --addr <host:port> [--path <dict>]
+  ctl                    one-shot daemon control: <ping|stats|status|swap|shutdown
+                         |metrics> --addr <host:port> [--path <dict>]
   compact                merge a WAL directory into one canonical EFDB segment:
                          --wal <dir> [--out <path>]
   wal-verify             audit a WAL directory offline: --wal <dir> [--strict true]
@@ -1941,6 +2567,19 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(&args),
         "export-dict" => cmd_export_dict(&args),
         "serve" => cmd_serve(&args),
+        "catalog" => cmd_catalog(&args),
+        // `diff` has a three-way exit contract: 0 = semantically equal,
+        // 3 = semantically different, 1 = error.
+        "diff" => {
+            return match cmd_diff(&args) {
+                Ok(true) => ExitCode::from(3),
+                Ok(false) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "loadgen" => cmd_loadgen(&args),
         "ctl" => cmd_ctl(&args),
         "compact" => cmd_compact(&args),

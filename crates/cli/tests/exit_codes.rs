@@ -283,6 +283,87 @@ fn ctl_unknown_action_is_a_clean_error() {
 }
 
 #[test]
+fn diff_without_operands_is_a_clean_error() {
+    assert_clean_error(&["diff"], "two artifacts");
+    assert_clean_error(&["diff", "only-one.efdb"], "two artifacts");
+}
+
+#[test]
+fn diff_unknown_format_is_a_clean_error() {
+    // The format is validated before either side is loaded.
+    assert_clean_error(
+        &["diff", "/nonexistent/a.efdb", "/nonexistent/b.efdb", "--format", "bogus"],
+        "--format",
+    );
+}
+
+#[test]
+fn diff_missing_file_is_exit_1_not_3() {
+    // The exit-code contract: 3 is reserved for "loaded both sides and
+    // they differ"; a load failure is an ordinary error (1).
+    let out = efd(&["diff", "/nonexistent/a.efdb", "/nonexistent/b.efdb"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent"));
+}
+
+#[test]
+fn catalog_without_action_is_a_clean_error() {
+    assert_clean_error(&["catalog"], "publish|list|show|rollback");
+}
+
+#[test]
+fn catalog_unknown_action_is_a_clean_error() {
+    assert_clean_error(&["catalog", "frobnicate", "--dir", "/tmp"], "unknown catalog action");
+}
+
+#[test]
+fn catalog_publish_without_required_flags_is_a_clean_error() {
+    assert_clean_error(&["catalog", "publish"], "--dir");
+    assert_clean_error(&["catalog", "publish", "--dir", "/tmp/efd-no-such-catalog"], "--name");
+    assert_clean_error(
+        &["catalog", "publish", "--dir", "/tmp/efd-no-such-catalog", "--name", "x"],
+        "--from",
+    );
+}
+
+#[test]
+fn catalog_show_rejects_an_invalid_reference() {
+    assert_clean_error(
+        &["catalog", "show", "not a ref!", "--dir", "/tmp/efd-no-such-catalog"],
+        "invalid catalog reference",
+    );
+}
+
+#[test]
+fn serve_catalog_ref_without_catalog_dir_is_a_clean_error() {
+    // `name@vN` only resolves through a catalog; without --catalog the
+    // error must say which flag is missing, not "file not found".
+    assert_clean_error(&["serve", "--load", "hpc-apps@v1"], "--catalog");
+}
+
+#[test]
+fn serve_manifest_conflicts_with_load_and_wal() {
+    assert_clean_error(
+        &["serve", "--manifest", "/tmp/m.json", "--load", "/tmp/x.efdb"],
+        "mutually exclusive",
+    );
+    assert_clean_error(
+        &[
+            "serve", "--listen", "127.0.0.1:0", "--manifest", "/tmp/m.json", "--wal", "/tmp/w",
+        ],
+        "mutually exclusive",
+    );
+}
+
+#[test]
+fn serve_missing_manifest_file_is_a_clean_error() {
+    assert_clean_error(
+        &["serve", "--manifest", "/nonexistent/stack.json"],
+        "/nonexistent",
+    );
+}
+
+#[test]
 fn help_exits_zero() {
     let out = efd(&["help"]);
     assert!(out.status.success());

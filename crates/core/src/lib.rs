@@ -35,6 +35,9 @@
 //!   is as simple as adding new keys").
 //! * [`binfmt`] — EFDB, the versioned binary dictionary format: zero-parse
 //!   persistence for instant serve cold-starts (spec in `docs/FORMAT.md`).
+//! * [`diff`] — structural dictionary diffing (added/removed/relabelled
+//!   keys, per-app coverage deltas, verdict-divergence sampling) backing
+//!   `efd diff` and the versioned catalog.
 //! * [`wal`] — crash-safe incremental persistence: an append-only learn
 //!   log plus LSM-style immutable EFDB segments, with structured-error
 //!   recovery and deterministic fault injection for testing it.
@@ -45,6 +48,7 @@
 pub mod align;
 pub mod binfmt;
 pub mod dictionary;
+pub mod diff;
 pub mod engine;
 pub mod fingerprint;
 pub mod maintenance;

@@ -172,6 +172,28 @@ proptest! {
         prop_assert!(found.is_some(), "{neighbor} missed bucket of {mean} (depth {depth})");
     }
 
+    /// A dictionary diffed against itself is always semantically empty,
+    /// with zero verdict divergence, at any depth and under any sample
+    /// seed — the `efd diff A A` exit-0 contract.
+    #[test]
+    fn self_diff_is_empty(
+        observations in arb_observations(),
+        depth in 1u8..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut dict = EfdDictionary::new(RoundingDepth::new(depth));
+        dict.learn_all(&observations);
+        let opts = efd_core::diff::DiffOptions { seed, ..Default::default() };
+        let r = efd_core::diff::diff(&dict, &dict, &small_catalog(), &opts);
+        prop_assert!(r.semantically_equal(), "{r:?}");
+        prop_assert_eq!(r.added + r.removed + r.relabelled, 0);
+        prop_assert_eq!(r.divergence.diverged, 0, "self-diff verdicts must agree");
+        prop_assert_eq!(r.keys_a, r.keys_b);
+        for c in &r.coverage {
+            prop_assert_eq!(c.keys_a, c.keys_b, "coverage of {} must match", c.app);
+        }
+    }
+
     /// Vote counts never exceed matched points, and matched points never
     /// exceed the query size.
     #[test]

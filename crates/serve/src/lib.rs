@@ -37,6 +37,9 @@
 //! * [`DurableDictionary`] — a [`ShardedDictionary`] whose learns are
 //!   written ahead to an [`efd_core::wal`] directory: crash the process,
 //!   reopen, and serve exactly the durably-acknowledged state.
+//! * [`StackedRecognizer`] — the served form of a `recognizer.v1`
+//!   manifest (`efd-catalog`): backends stacked in precedence order,
+//!   first confident verdict wins, primary abstention preserved.
 //! * [`net`] — the **network** form: a TCP recognition daemon
 //!   (`efd serve --listen`) speaking a length-prefixed line protocol
 //!   over a fixed worker pool, with atomic engine hot-swap, a same-port
@@ -86,6 +89,7 @@ pub mod net;
 pub mod online;
 pub mod shard;
 pub mod snapshot;
+pub mod stacked;
 
 pub use batch::BatchRecognizer;
 pub use combo::ComboSnapshot;
@@ -95,6 +99,7 @@ pub use keystore::KeyStore;
 pub use online::OnlineSession;
 pub use shard::ShardedDictionary;
 pub use snapshot::Snapshot;
+pub use stacked::{StackedRecognizer, StackedStage};
 
 pub use efd_core::engine::{Learn, ParallelRecognize, Recognize, VoteScratch};
 

@@ -16,12 +16,18 @@
 //! * `efd_protocol_errors_total{kind}` — frame/grammar violations.
 //! * `efd_snapshot_swaps_total` / `efd_snapshot_generation` — hot-swap
 //!   republications and the current generation.
+//! * `efd_catalog_info{version}` — the served catalog artifact version
+//!   (constant `1`; the label carries the information).
+//! * `efd_drift_alarm` plus the `efd_drift_*_rate` /
+//!   `efd_drift_baseline_*` / `efd_drift_window_samples` family — the
+//!   live drift monitor's judgement against the published baseline.
 //! * `efd_scrapes_total` — `/metrics` scrapes served.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use efd_telemetry::prom::{Counter, Gauge, Histogram, Registry};
+use efd_telemetry::prom::{Counter, FloatGauge, Gauge, Histogram, Registry};
 
+use super::drift::{DriftSnapshot, DriftState};
 use super::protocol::{Command, COMMANDS};
 
 /// Latency buckets for `efd_request_duration_seconds`: 25 µs … 1 s,
@@ -74,8 +80,25 @@ pub struct DaemonMetrics {
     pub swaps_total: Arc<Counter>,
     /// Current engine generation (starts at 1).
     pub generation: Arc<Gauge>,
+    /// Drift judgement: 1 while the monitor is in alarm, else 0.
+    pub drift_alarm: Arc<Gauge>,
+    /// Verdicts currently in the drift window.
+    pub drift_window_samples: Arc<Gauge>,
+    /// Live unknown-verdict rate over the drift window.
+    pub drift_unknown_rate: Arc<FloatGauge>,
+    /// Live ambiguous-verdict rate over the drift window.
+    pub drift_ambiguous_rate: Arc<FloatGauge>,
+    /// Published baseline unknown rate (0 when no baseline).
+    pub drift_baseline_unknown_rate: Arc<FloatGauge>,
+    /// Published baseline ambiguous rate (0 when no baseline).
+    pub drift_baseline_ambiguous_rate: Arc<FloatGauge>,
     /// `/metrics` scrapes served.
     pub scrapes_total: Arc<Counter>,
+    /// Served catalog artifact version (`hpc-apps@v3`), rendered as the
+    /// `efd_catalog_info{version=...}` label. The vendored registry keys
+    /// series by label at registration, so a value that changes on every
+    /// hot swap is rendered by hand in [`DaemonMetrics::render`] instead.
+    version: Mutex<Option<String>>,
 }
 
 impl Default for DaemonMetrics {
@@ -146,6 +169,36 @@ impl DaemonMetrics {
             "Current published engine generation.",
             &[],
         );
+        let drift_alarm = registry.gauge(
+            "efd_drift_alarm",
+            "1 while live verdict rates exceed the published baseline.",
+            &[],
+        );
+        let drift_window_samples = registry.gauge(
+            "efd_drift_window_samples",
+            "Verdicts currently in the drift monitor's sliding window.",
+            &[],
+        );
+        let drift_unknown_rate = registry.float_gauge(
+            "efd_drift_unknown_rate",
+            "Live unknown-verdict rate over the drift window.",
+            &[],
+        );
+        let drift_ambiguous_rate = registry.float_gauge(
+            "efd_drift_ambiguous_rate",
+            "Live ambiguous-verdict rate over the drift window.",
+            &[],
+        );
+        let drift_baseline_unknown_rate = registry.float_gauge(
+            "efd_drift_baseline_unknown_rate",
+            "Unknown rate recorded when the served version was published.",
+            &[],
+        );
+        let drift_baseline_ambiguous_rate = registry.float_gauge(
+            "efd_drift_baseline_ambiguous_rate",
+            "Ambiguous rate recorded when the served version was published.",
+            &[],
+        );
         let scrapes_total = registry.counter(
             "efd_scrapes_total",
             "Prometheus /metrics scrapes served.",
@@ -163,8 +216,39 @@ impl DaemonMetrics {
             connections_total,
             swaps_total,
             generation,
+            drift_alarm,
+            drift_window_samples,
+            drift_unknown_rate,
+            drift_ambiguous_rate,
+            drift_baseline_unknown_rate,
+            drift_baseline_ambiguous_rate,
             scrapes_total,
+            version: Mutex::new(None),
         }
+    }
+
+    /// Record the served catalog version (`None` outside the catalog).
+    pub fn set_version(&self, version: Option<String>) {
+        *self.version.lock().expect("version lock") = version;
+    }
+
+    /// The served catalog version, if any.
+    pub fn version(&self) -> Option<String> {
+        self.version.lock().expect("version lock").clone()
+    }
+
+    /// Push a drift reading into the gauge family.
+    pub fn observe_drift(&self, snap: &DriftSnapshot) {
+        self.drift_alarm.set(i64::from(snap.state == DriftState::Alarm));
+        self.drift_window_samples.set(snap.samples as i64);
+        self.drift_unknown_rate.set(snap.unknown_rate);
+        self.drift_ambiguous_rate.set(snap.ambiguous_rate);
+        let (bu, ba) = match snap.baseline {
+            Some(b) => (b.unknown_rate, b.ambiguous_rate),
+            None => (0.0, 0.0),
+        };
+        self.drift_baseline_unknown_rate.set(bu);
+        self.drift_baseline_ambiguous_rate.set(ba);
     }
 
     /// Count one request of the given command.
@@ -196,9 +280,19 @@ impl DaemonMetrics {
         self.verdicts.iter().map(|c| c.get()).sum()
     }
 
-    /// Render the full Prometheus text exposition.
+    /// Render the full Prometheus text exposition, closed by the
+    /// hand-rendered `efd_catalog_info` family (its `version` label
+    /// changes on hot swap, which the registry's fixed series can't).
     pub fn render(&self) -> String {
-        self.registry.render()
+        let mut out = self.registry.render();
+        let version = self.version();
+        out.push_str("# HELP efd_catalog_info Served catalog artifact version.\n");
+        out.push_str("# TYPE efd_catalog_info gauge\n");
+        out.push_str(&format!(
+            "efd_catalog_info{{version=\"{}\"}} 1\n",
+            version.as_deref().unwrap_or("-")
+        ));
+        out
     }
 }
 

@@ -6,6 +6,8 @@
 //!   snapshot swap by `Arc` republication, idle-timeout discipline,
 //!   and a same-port HTTP `/metrics` + `/healthz` endpoint.
 //! * [`metrics`] — the Prometheus instrument set the daemon exports.
+//! * [`drift`] — the sliding-window drift monitor judging live verdict
+//!   rates against the served catalog version's published baseline.
 //! * [`loadgen`] — the pipelined/paced client that produces
 //!   `BENCH_8.json`.
 //!
@@ -14,11 +16,13 @@
 //! socket writes, which is how the robustness suite drives torn and
 //! malformed frames.
 
+pub mod drift;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
+pub use drift::{DriftBaseline, DriftConfig, DriftMonitor, DriftSnapshot, DriftState};
 pub use metrics::DaemonMetrics;
 pub use protocol::{FrameError, FrameReader, Request, MAX_FRAME};
 pub use server::{load_engine, BackendKind, Engine, ServeSummary, Server, ServerConfig};

@@ -220,12 +220,14 @@ pub enum Command {
     Swap,
     /// `STATS`
     Stats,
+    /// `STATUS`
+    Status,
     /// `SHUTDOWN`
     Shutdown,
 }
 
 /// Every command, in a fixed order (metric registration order).
-pub const COMMANDS: [Command; 9] = [
+pub const COMMANDS: [Command; 10] = [
     Command::Ping,
     Command::Recognize,
     Command::Stream,
@@ -234,6 +236,7 @@ pub const COMMANDS: [Command; 9] = [
     Command::Learn,
     Command::Swap,
     Command::Stats,
+    Command::Status,
     Command::Shutdown,
 ];
 
@@ -249,6 +252,7 @@ impl Command {
             Command::Learn => "learn",
             Command::Swap => "swap",
             Command::Stats => "stats",
+            Command::Status => "status",
             Command::Shutdown => "shutdown",
         }
     }
@@ -322,6 +326,8 @@ pub enum Request {
     },
     /// One-line daemon status.
     Stats,
+    /// Catalog version + drift judgement status line.
+    Status,
     /// Graceful daemon shutdown.
     Shutdown,
 }
@@ -338,6 +344,7 @@ impl Request {
             Request::Learn { .. } => Command::Learn,
             Request::Swap { .. } => Command::Swap,
             Request::Stats => Command::Stats,
+            Request::Status => Command::Status,
             Request::Shutdown => Command::Shutdown,
         }
     }
@@ -407,6 +414,7 @@ impl Request {
                 end(it, Request::Swap { path })
             }
             "STATS" => end(it, Request::Stats),
+            "STATUS" => end(it, Request::Status),
             "SHUTDOWN" => end(it, Request::Shutdown),
             other => Err(format!("unknown command {other:?}")),
         }

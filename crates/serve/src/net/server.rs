@@ -53,6 +53,7 @@ use efd_core::engine::{Recognize, VoteScratch};
 use efd_core::{binfmt, serialize, LabeledObservation, Query};
 use efd_telemetry::{AppLabel, Interval, MetricCatalog, MetricId, NodeId};
 
+use super::drift::{DriftBaseline, DriftConfig, DriftMonitor, DriftSnapshot};
 use super::metrics::DaemonMetrics;
 use super::protocol::{
     render_answer, verdict_label, write_frame, FrameError, FrameReader, Request, MAX_FRAME,
@@ -121,6 +122,12 @@ pub struct Engine {
     pub keys: usize,
     /// Short backend kind name for `STATS` (`snapshot`, `efdb`, ...).
     pub kind: &'static str,
+    /// Served catalog artifact version (`hpc-apps@v3`) or manifest
+    /// identity; `None` for plain file-backed engines.
+    pub version: Option<String>,
+    /// Abstention baseline recorded when the served version was
+    /// published; drives the drift monitor. `None` = never alarm.
+    pub baseline: Option<DriftBaseline>,
 }
 
 impl Engine {
@@ -135,7 +142,27 @@ impl Engine {
             learner: None,
             keys,
             kind,
+            version: None,
+            baseline: None,
         }
+    }
+
+    /// Tag the engine with the catalog version it serves.
+    pub fn with_version(mut self, version: impl Into<String>) -> Self {
+        self.version = Some(version.into());
+        self
+    }
+
+    /// Attach the published version's abstention baseline.
+    pub fn with_baseline(mut self, baseline: DriftBaseline) -> Self {
+        self.baseline = Some(baseline);
+        self
+    }
+
+    /// Version for status lines: the catalog ref, or `-` outside the
+    /// catalog.
+    pub fn version_label(&self) -> &str {
+        self.version.as_deref().unwrap_or("-")
     }
 
     /// A durable engine: serves and learns through one
@@ -147,6 +174,8 @@ impl Engine {
             learner: Some(d),
             keys,
             kind: "durable",
+            version: None,
+            baseline: None,
         }
     }
 
@@ -165,6 +194,8 @@ impl std::fmt::Debug for Engine {
             .field("kind", &self.kind)
             .field("keys", &self.keys)
             .field("durable", &self.learner.is_some())
+            .field("version", &self.version)
+            .field("baseline", &self.baseline)
             .finish()
     }
 }
@@ -227,8 +258,14 @@ pub fn load_engine(
     })
 }
 
+/// A pluggable engine loader: how `SWAP path` / SIGHUP rebuild an
+/// engine from a path. Manifest serving installs one that treats the
+/// path as a `recognizer.v1` manifest; without one, paths load through
+/// [`load_engine`].
+pub type EngineLoader = Arc<dyn Fn(&Path) -> Result<Engine, String> + Send + Sync>;
+
 /// Daemon configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Worker-thread count (min 1).
     pub workers: usize,
@@ -241,13 +278,32 @@ pub struct ServerConfig {
     /// Metric-name resolution for requests.
     pub catalog: MetricCatalog,
     /// Path reloaded by SIGHUP and a bare `SWAP` (normally the daemon's
-    /// `--load` argument).
+    /// `--load` or `--manifest` argument).
     pub reload_path: Option<PathBuf>,
+    /// Drift-monitor tuning (window, warm-up floor, alarm margin).
+    pub drift: DriftConfig,
+    /// Custom engine loader for reloads (manifest mode); `None` loads
+    /// dictionary files via [`load_engine`].
+    pub loader: Option<EngineLoader>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("workers", &self.workers)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("shards", &self.shards)
+            .field("backend", &self.backend)
+            .field("reload_path", &self.reload_path)
+            .field("drift", &self.drift)
+            .field("loader", &self.loader.as_ref().map(|_| "<custom>"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServerConfig {
     /// Defaults: 4 workers, 30 s idle timeout, 8 shards, snapshot
-    /// backend, no reload path.
+    /// backend, no reload path, default drift tuning.
     pub fn new(catalog: MetricCatalog) -> Self {
         ServerConfig {
             workers: 4,
@@ -256,6 +312,8 @@ impl ServerConfig {
             backend: BackendKind::Snapshot,
             catalog,
             reload_path: None,
+            drift: DriftConfig::default(),
+            loader: None,
         }
     }
 }
@@ -270,6 +328,7 @@ struct Shared {
     cfg: ServerConfig,
     published: RwLock<Arc<Published>>,
     metrics: DaemonMetrics,
+    drift: DriftMonitor,
     shutdown: AtomicBool,
     hup: Arc<AtomicBool>,
     queue: Mutex<VecDeque<TcpStream>>,
@@ -282,12 +341,29 @@ impl Shared {
     }
 
     fn publish(&self, engine: Engine) -> u64 {
+        let version = engine.version.clone();
+        let baseline = engine.baseline;
         let mut w = self.published.write().expect("published lock");
         let gen = w.gen + 1;
         *w = Arc::new(Published { gen, engine });
+        drop(w);
         self.metrics.generation.set(gen as i64);
         self.metrics.swaps_total.inc();
+        // The new version is judged only by traffic it answered itself:
+        // rebaseline clears the window (and any standing alarm).
+        self.metrics.set_version(version);
+        self.drift.rebaseline(baseline);
+        self.metrics.observe_drift(&self.drift.snapshot());
         gen
+    }
+
+    /// Build an engine from a path the way this daemon was configured
+    /// to: through the custom loader (manifest mode) or [`load_engine`].
+    fn load(&self, path: &Path) -> Result<Engine, String> {
+        match &self.cfg.loader {
+            Some(loader) => loader(path),
+            None => load_engine(path, self.cfg.backend, &self.cfg.catalog, self.cfg.shards),
+        }
     }
 
     fn reload(&self) -> Result<u64, String> {
@@ -299,7 +375,7 @@ impl Shared {
         if self.current().engine.learner.is_some() {
             return Err("durable mode learns in place; reload does not apply".into());
         }
-        let engine = load_engine(path, self.cfg.backend, &self.cfg.catalog, self.cfg.shards)?;
+        let engine = self.load(path)?;
         Ok(self.publish(engine))
     }
 
@@ -342,11 +418,16 @@ impl Server {
             .map_err(|e| format!("{addr}: {e}"))?;
         let metrics = DaemonMetrics::new();
         metrics.generation.set(1);
+        metrics.set_version(engine.version.clone());
+        let drift = DriftMonitor::new(cfg.drift);
+        drift.rebaseline(engine.baseline);
+        metrics.observe_drift(&drift.snapshot());
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             cfg,
             published: RwLock::new(Arc::new(Published { gen: 1, engine })),
             metrics,
+            drift,
             shutdown: AtomicBool::new(false),
             hup: Arc::new(AtomicBool::new(false)),
             queue: Mutex::new(VecDeque::new()),
@@ -400,6 +481,11 @@ impl Server {
     /// Current published engine generation.
     pub fn generation(&self) -> u64 {
         self.shared.current().gen
+    }
+
+    /// Current drift-monitor reading (tests assert on state edges).
+    pub fn drift_snapshot(&self) -> DriftSnapshot {
+        self.shared.drift.snapshot()
     }
 
     /// Atomically republish a new engine; returns its generation.
@@ -664,7 +750,7 @@ fn dispatch(
             let q = Query::from_node_means(m, Interval::new(start, end), &means);
             let p = shared.current();
             let rec = p.engine.recognizer.recognize_into(&q, scratch).normalized();
-            shared.metrics.count_verdict(verdict_label(&rec));
+            note_verdict(shared, &rec);
             reply(render_answer("OK", p.gen, &rec))
         }
         Request::Stream {
@@ -768,18 +854,18 @@ fn dispatch(
             let outcome = if path.is_empty() {
                 shared.reload()
             } else {
-                load_engine(
-                    Path::new(&path),
-                    shared.cfg.backend,
-                    &shared.cfg.catalog,
-                    shared.cfg.shards,
-                )
-                .map(|engine| shared.publish(engine))
+                shared
+                    .load(Path::new(&path))
+                    .map(|engine| shared.publish(engine))
             };
             match outcome {
                 Ok(gen) => {
-                    let keys = shared.current().engine.keys;
-                    reply(format!("SWAPPED {gen} {keys}"))
+                    let p = shared.current();
+                    reply(format!(
+                        "SWAPPED {gen} {} {}",
+                        p.engine.keys,
+                        p.engine.version_label()
+                    ))
                 }
                 Err(e) => reply(format!("ERR swap-failed {e}")),
             }
@@ -787,12 +873,34 @@ fn dispatch(
         Request::Stats => {
             let p = shared.current();
             reply(format!(
-                "STATS gen={} keys={} backend={} connections={} requests={}",
+                "STATS gen={} keys={} backend={} version={} connections={} requests={}",
                 p.gen,
                 p.engine.keys_now(),
                 p.engine.kind,
+                p.engine.version_label(),
                 shared.metrics.connections_total.get(),
                 shared.metrics.requests_total(),
+            ))
+        }
+        Request::Status => {
+            let p = shared.current();
+            let snap = shared.drift.snapshot();
+            let (bu, ba) = match snap.baseline {
+                Some(b) => (format!("{:.4}", b.unknown_rate), format!("{:.4}", b.ambiguous_rate)),
+                None => ("-".to_string(), "-".to_string()),
+            };
+            reply(format!(
+                "STATUS gen={} version={} backend={} keys={} drift={} samples={} \
+                 unknown_rate={:.4} ambiguous_rate={:.4} \
+                 baseline_unknown={bu} baseline_ambiguous={ba}",
+                p.gen,
+                p.engine.version_label(),
+                p.engine.kind,
+                p.engine.keys_now(),
+                snap.state.name(),
+                snap.samples,
+                snap.unknown_rate,
+                snap.ambiguous_rate,
             ))
         }
         Request::Shutdown => Reply {
@@ -822,8 +930,28 @@ fn stream_verdict(shared: &Shared, st: &StreamState, rec: &efd_core::Recognition
         .metrics
         .time_to_first_verdict
         .observe_duration(st.opened.elapsed());
-    shared.metrics.count_verdict(verdict_label(rec));
+    note_verdict(shared, rec);
     reply(render_answer("VERDICT", st.gen, rec))
+}
+
+/// Count a verdict and feed the drift monitor; a judgement edge
+/// (ok → alarm, alarm → ok, ...) is logged exactly once.
+fn note_verdict(shared: &Shared, rec: &efd_core::Recognition) {
+    let label = verdict_label(rec);
+    shared.metrics.count_verdict(label);
+    if let Some((from, to)) = shared.drift.record(label) {
+        let snap = shared.drift.snapshot();
+        eprintln!(
+            "drift: {} -> {} (version={} unknown_rate={:.3} ambiguous_rate={:.3} window={})",
+            from.name(),
+            to.name(),
+            shared.metrics.version().as_deref().unwrap_or("-"),
+            snap.unknown_rate,
+            snap.ambiguous_rate,
+            snap.samples,
+        );
+    }
+    shared.metrics.observe_drift(&shared.drift.snapshot());
 }
 
 /// Minimal HTTP/1.1: `GET /metrics` (Prometheus text), `GET /healthz`.

@@ -262,7 +262,7 @@ fn swap_command_and_hup_flag_republish_from_dictionary_files() {
     // Explicit-path SWAP republishes b.efdb as generation 2.
     assert_eq!(
         client.request(&format!("SWAP {}", path_b.display())),
-        format!("SWAPPED 2 {}", dict_b.len())
+        format!("SWAPPED 2 {} -", dict_b.len())
     );
     assert_eq!(client.request(&line), "OK 2 2 2 recognized new");
     // A failed swap is a structured error and keeps the generation.
@@ -308,7 +308,7 @@ fn durable_daemon_learns_over_the_wire_and_refuses_swaps() {
     assert!(client.request("SWAP").starts_with("ERR bad-state"));
     assert!(client
         .request("STATS")
-        .starts_with("STATS gen=1 keys=2 backend=durable"));
+        .starts_with("STATS gen=1 keys=2 backend=durable version=-"));
 
     server.shutdown();
     server.join();
@@ -323,7 +323,10 @@ fn shutdown_command_stops_the_daemon_and_frees_the_port() {
     let mut client = Client::connect(addr);
     assert!(client
         .request("STATS")
-        .starts_with(&format!("STATS gen=1 keys={} backend=snapshot", dict.len())));
+        .starts_with(&format!(
+            "STATS gen=1 keys={} backend=snapshot version=-",
+            dict.len()
+        )));
     assert_eq!(client.request("SHUTDOWN"), "BYE");
     let summary = server.join();
     assert!(summary.requests >= 2);

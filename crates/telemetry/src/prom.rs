@@ -10,6 +10,8 @@
 //! * [`Counter`] — monotonically increasing `u64`.
 //! * [`Gauge`] — a settable `i64` (queue depth, active connections,
 //!   snapshot generation).
+//! * [`FloatGauge`] — a settable `f64` for fractional state (rates,
+//!   ratios); stored as atomic bits, rendered as a `gauge`.
 //! * [`Histogram`] — explicit-bucket latency histogram with a
 //!   CAS-maintained `f64` sum; buckets render cumulatively with the
 //!   conventional `le` label, closed by `+Inf`.
@@ -87,6 +89,33 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding a fractional value (rates, ratios, thresholds).
+///
+/// The value is stored as its IEEE-754 bit pattern in an `AtomicU64`,
+/// so `set`/`get` are single atomic operations — last write wins, no
+/// read-modify-write loop needed.
+#[derive(Debug)]
+pub struct FloatGauge(AtomicU64);
+
+impl Default for FloatGauge {
+    fn default() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl FloatGauge {
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
 
@@ -190,6 +219,7 @@ impl Histogram {
 enum Kind {
     Counter,
     Gauge,
+    FloatGauge,
     Histogram,
 }
 
@@ -197,7 +227,9 @@ impl Kind {
     fn name(self) -> &'static str {
         match self {
             Kind::Counter => "counter",
-            Kind::Gauge => "gauge",
+            // Integer and float gauges are the same exposition type;
+            // only the in-process storage differs.
+            Kind::Gauge | Kind::FloatGauge => "gauge",
             Kind::Histogram => "histogram",
         }
     }
@@ -207,6 +239,7 @@ impl Kind {
 enum Value {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
+    FloatGauge(Arc<FloatGauge>),
     Histogram(Arc<Histogram>),
 }
 
@@ -310,17 +343,20 @@ impl Registry {
             return match &existing.value {
                 Value::Counter(c) => Value::Counter(Arc::clone(c)),
                 Value::Gauge(g) => Value::Gauge(Arc::clone(g)),
+                Value::FloatGauge(g) => Value::FloatGauge(Arc::clone(g)),
                 Value::Histogram(h) => Value::Histogram(Arc::clone(h)),
             };
         }
         let value = match kind {
             Kind::Counter => Value::Counter(Arc::new(Counter::default())),
             Kind::Gauge => Value::Gauge(Arc::new(Gauge::default())),
+            Kind::FloatGauge => Value::FloatGauge(Arc::new(FloatGauge::default())),
             Kind::Histogram => unreachable!("histograms register via histogram()"),
         };
         let handle = match &value {
             Value::Counter(c) => Value::Counter(Arc::clone(c)),
             Value::Gauge(g) => Value::Gauge(Arc::clone(g)),
+            Value::FloatGauge(g) => Value::FloatGauge(Arc::clone(g)),
             Value::Histogram(h) => Value::Histogram(Arc::clone(h)),
         };
         family.series.push(Series {
@@ -343,6 +379,14 @@ impl Registry {
         match self.register(name, help, Kind::Gauge, labels) {
             Value::Gauge(g) => g,
             _ => unreachable!("registered a gauge"),
+        }
+    }
+
+    /// Register (or fetch) a float gauge series.
+    pub fn float_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<FloatGauge> {
+        match self.register(name, help, Kind::FloatGauge, labels) {
+            Value::FloatGauge(g) => g,
+            _ => unreachable!("registered a float gauge"),
         }
     }
 
@@ -412,6 +456,9 @@ impl Registry {
                     }
                     Value::Gauge(g) => {
                         push_sample(&mut out, &f.name, "", &s.labels, None, &g.get().to_string());
+                    }
+                    Value::FloatGauge(g) => {
+                        push_sample(&mut out, &f.name, "", &s.labels, None, &render_f64(g.get()));
                     }
                     Value::Histogram(h) => {
                         for (bound, cum) in h.cumulative() {
@@ -511,6 +558,19 @@ mod tests {
         assert!(text.contains("c_total{x=\"2\"} 1"), "{text}");
         // One family header, not one per series.
         assert_eq!(text.matches("# TYPE c_total").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn float_gauge_renders_fractional_values() {
+        let reg = Registry::new();
+        let g = reg.float_gauge("rate", "Live rate.", &[("window", "live")]);
+        assert_eq!(g.get(), 0.0, "starts at zero");
+        g.set(0.125);
+        let text = reg.render();
+        assert!(text.contains("# TYPE rate gauge"), "{text}");
+        assert!(text.contains("rate{window=\"live\"} 0.125"), "{text}");
+        let again = reg.float_gauge("rate", "Live rate.", &[("window", "live")]);
+        assert_eq!(again.get(), 0.125, "idempotent registration shares the handle");
     }
 
     #[test]

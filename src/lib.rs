@@ -27,6 +27,9 @@
 //! * [`serve`] (`efd-serve`) — the concurrent serving layer: sharded
 //!   dictionaries, immutable published snapshots, parallel batch and
 //!   streaming recognition.
+//! * [`catalog`] (`efd-catalog`) — versioned dictionary artifacts: the
+//!   named catalog store with its signed index, and `recognizer.v1`
+//!   manifests stacking backends with explicit precedence.
 //! * [`util`] (`efd-util`) — hashing, RNG derivation, online statistics,
 //!   scoped-thread parallelism, text tables.
 //!
@@ -35,6 +38,7 @@
 
 #![warn(rust_2018_idioms)]
 
+pub use efd_catalog as catalog;
 pub use efd_core as core;
 pub use efd_eval as eval;
 pub use efd_ml as ml;
